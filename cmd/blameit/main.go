@@ -1,0 +1,147 @@
+// Command blameit runs the full BlameIt pipeline on a synthetic world:
+// generate topology and routing, inject faults, learn expected RTTs, run
+// the periodic localization job with budgeted active probing, and print
+// blame summaries and the impact-ranked tickets an operator would see.
+//
+// Usage:
+//
+//	blameit [-scale small|medium|large] [-seed N] [-days N] [-warmup N]
+//	        [-workload random|cases|battery|none] [-budget N] [-top N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+func scaleByName(name string) (topology.Scale, error) {
+	switch name {
+	case "small":
+		return topology.SmallScale(), nil
+	case "medium":
+		return topology.MediumScale(), nil
+	case "large":
+		return topology.LargeScale(), nil
+	default:
+		return topology.Scale{}, fmt.Errorf("unknown scale %q (small|medium|large)", name)
+	}
+}
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "world scale: small, medium or large")
+		seed      = flag.Int64("seed", 42, "deterministic seed for the world, faults and noise")
+		days      = flag.Int("days", 2, "days to run after warmup")
+		warmup    = flag.Int("warmup", 1, "warmup days for expected-RTT learning")
+		workload  = flag.String("workload", "random", "fault workload: random, cases, battery or none")
+		budget    = flag.Int("budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
+		topN      = flag.Int("top", 5, "tickets to print per job run")
+		verbose   = flag.Bool("v", false, "print every job run, not only runs with tickets")
+	)
+	flag.Parse()
+
+	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "blameit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN int, verbose bool) error {
+	scale, err := scaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+	if days < 1 || warmup < 1 {
+		return fmt.Errorf("days and warmup must be positive")
+	}
+	w := topology.Generate(scale, seed)
+	horizon := netmodel.Bucket((warmup + days) * netmodel.BucketsPerDay)
+	warmupEnd := netmodel.Bucket(warmup * netmodel.BucketsPerDay)
+
+	var fs []faults.Fault
+	switch workload {
+	case "random":
+		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, seed+1).Faults
+	case "cases":
+		for _, sc := range faults.CaseStudies(w, seed+1) {
+			f := sc.Fault
+			f.Start += warmupEnd
+			fs = append(fs, f)
+			fmt.Printf("scenario %-28s %s\n", sc.Name+":", sc.Desc)
+		}
+	case "battery":
+		for _, sc := range faults.IncidentBattery(w, 88, warmupEnd+2*netmodel.BucketsPerHour, 6, seed+1) {
+			fs = append(fs, sc.Fault)
+		}
+	case "none":
+	default:
+		return fmt.Errorf("unknown workload %q (random|cases|battery|none)", workload)
+	}
+
+	st := w.Stats()
+	fmt.Printf("world: %d clouds, %d metros, %d ASes, %d BGP prefixes, %d /24s, %d active clients\n",
+		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
+	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup\n\n", workload, len(fs), days, warmup)
+
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, seed+2)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(seed+3))
+	cfg := pipeline.DefaultConfig()
+	cfg.BudgetPerCloudPerDay = budget
+	cfg.TopNAlerts = topN
+	p := pipeline.New(s, cfg)
+
+	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", warmup)
+	p.Warmup(0, warmupEnd)
+	fmt.Printf("learned %d cloud and %d middle-segment medians\n\n",
+		p.Thresholds.NumCloudEntries(), p.Thresholds.NumMiddleEntries())
+
+	totals := make(map[core.Blame]int)
+	ticketCount := 0
+	p.Run(warmupEnd, horizon, func(rep *pipeline.Report) {
+		for _, r := range rep.Results {
+			totals[r.Blame]++
+		}
+		if len(rep.Tickets) == 0 && !verbose {
+			return
+		}
+		if len(rep.Tickets) > 0 || verbose {
+			day := rep.To.Day() - warmup
+			fmt.Printf("[day %d %02d:%02d] %d verdicts, %d middle issues probed\n",
+				day, rep.To.HourOfDay(), (rep.To.OfDay()%netmodel.BucketsPerHour)*netmodel.BucketMinutes,
+				len(rep.Results), len(rep.Verdicts))
+			for _, t := range rep.Tickets {
+				ticketCount++
+				fmt.Printf("  ticket #%d -> %s: %s\n", t.ID, t.Team, t.Summary)
+			}
+		}
+	})
+	incidents := p.Flush()
+
+	fmt.Printf("\n=== summary ===\n")
+	total := 0
+	for _, n := range totals {
+		total += n
+	}
+	for _, cat := range core.Categories() {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(totals[cat]) / float64(total)
+		}
+		fmt.Printf("%-13s %8d verdicts (%.1f%%)\n", cat.String(), totals[cat], frac*100)
+	}
+	cnt := p.Engine.Counters()
+	fmt.Printf("\nprobes: %d background, %d churn-triggered, %d on-demand (%d total)\n",
+		cnt.Count(probe.Background), cnt.Count(probe.ChurnTriggered), cnt.Count(probe.OnDemand), cnt.Total())
+	fmt.Printf("badness incidents tracked: %d; tickets filed: %d\n", len(incidents), ticketCount)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "large"} {
+		if _, err := scaleByName(name); err != nil {
+			t.Errorf("scaleByName(%q) = %v", name, err)
+		}
+	}
+	if _, err := scaleByName("galactic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("nope", 1, 1, 1, "random", 0, 5, false); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run("small", 1, 0, 1, "random", 0, 5, false); err == nil {
+		t.Error("zero days accepted")
+	}
+	if err := run("small", 1, 1, 1, "martian", 0, 5, false); err == nil {
+		t.Error("bad workload accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CLI run in -short mode")
+	}
+	// One warmup day plus one quiet day; output goes to stdout, which the
+	// test harness captures.
+	if err := run("small", 7, 1, 1, "none", 10, 3, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

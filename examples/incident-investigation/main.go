@@ -1,0 +1,35 @@
+// Example incident-investigation: replays the five real-world case studies
+// of §6.3 of the paper — a Brazilian maintenance mishap, a US peering
+// fault, an Australian server overload, the East-Asia → US-west traffic
+// shift, and an Italian client-ISP maintenance — and shows BlameIt
+// localizing each one, with per-incident confidence the way the paper
+// reports it.
+//
+// Run with: go run ./examples/incident-investigation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"blameit/internal/experiments"
+	"blameit/internal/topology"
+)
+
+func main() {
+	fmt.Println("Replaying the five §6.3 case studies on a synthetic world...")
+	fmt.Println()
+
+	tbl, outcomes := experiments.CaseStudySuite(topology.SmallScale(), 42)
+	tbl.Render(os.Stdout)
+
+	correct := 0
+	for _, co := range outcomes {
+		if co.CorrectSegment {
+			correct++
+		}
+	}
+	fmt.Printf("BlameIt localized %d/%d incidents to the correct segment.\n", correct, len(outcomes))
+	fmt.Println("(The paper reports agreement with manual investigation in all 88 production incidents;")
+	fmt.Println(" run `blameit-experiments -run battery` for the randomized 88-incident reproduction.)")
+}

@@ -1,0 +1,105 @@
+// Example monthly-report: the operator-facing view of §6.2 — run the
+// pipeline for a simulated week (a compressed stand-in for the paper's
+// one-month production window), then print daily blame fractions (Fig. 8),
+// the duration distribution of badness incidents (Fig. 4a / Fig. 10), and
+// the highest-impact tickets of the period.
+//
+// Run with: go run ./examples/monthly-report [days]
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"blameit/internal/alerting"
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/quartet"
+	"blameit/internal/sim"
+	"blameit/internal/stats"
+	"blameit/internal/topology"
+)
+
+func main() {
+	days := 7
+	if len(os.Args) > 1 {
+		if n, err := strconv.Atoi(os.Args[1]); err == nil && n > 0 {
+			days = n
+		}
+	}
+	warmup := 1
+	world := topology.Generate(topology.SmallScale(), 77)
+	horizon := netmodel.Bucket((warmup + days) * netmodel.BucketsPerDay)
+	sched := faults.Generate(world, faults.DefaultGenerateConfig(), horizon, 78)
+	table := bgp.NewTable(world, bgp.DefaultChurnConfig(), horizon, 79)
+	simulator := sim.New(world, table, sched, sim.DefaultConfig(80))
+	p := pipeline.New(simulator, pipeline.DefaultConfig())
+
+	fmt.Printf("running %d day(s) with %d random faults...\n\n", days, len(sched.Faults))
+	p.Warmup(0, netmodel.Bucket(warmup*netmodel.BucketsPerDay))
+
+	daily := make([]map[core.Blame]int, days)
+	for i := range daily {
+		daily[i] = make(map[core.Blame]int)
+	}
+	var topTickets []alerting.Ticket
+	p.Run(netmodel.Bucket(warmup*netmodel.BucketsPerDay), horizon, func(rep *pipeline.Report) {
+		day := rep.To.Day() - warmup
+		if day < 0 || day >= days {
+			return
+		}
+		for _, r := range rep.Results {
+			daily[day][r.Blame]++
+		}
+		topTickets = append(topTickets, rep.Tickets...)
+	})
+	incidents := p.Flush()
+
+	// Daily blame fractions (the Fig. 8 view).
+	fmt.Println("daily blame fractions (cloud / middle / client / ambiguous / insufficient):")
+	for day := 0; day < days; day++ {
+		total := 0
+		for _, n := range daily[day] {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		f := func(c core.Blame) float64 { return 100 * float64(daily[day][c]) / float64(total) }
+		fmt.Printf("  day %2d: %5.1f%% / %5.1f%% / %5.1f%% / %5.1f%% / %5.1f%%  (%d bad quartets)\n",
+			day, f(core.BlameCloud), f(core.BlameMiddle), f(core.BlameClient),
+			f(core.BlameAmbiguous), f(core.BlameInsufficient), total)
+	}
+
+	// Badness persistence (the Fig. 4a view).
+	durations := quartet.Durations(incidents)
+	if len(durations) > 0 {
+		one, long := 0, 0
+		for _, d := range durations {
+			if d <= 1 {
+				one++
+			}
+			if d > 24 {
+				long++
+			}
+		}
+		fmt.Printf("\nbadness persistence over %d incidents: median %.0f bucket(s), %.0f%% fleeting (<=5 min), %.1f%% over 2h\n",
+			len(durations), stats.Median(durations),
+			100*float64(one)/float64(len(durations)), 100*float64(long)/float64(len(durations)))
+	}
+
+	// The period's biggest tickets.
+	sort.Slice(topTickets, func(i, j int) bool { return topTickets[i].Impact > topTickets[j].Impact })
+	fmt.Println("\nhighest-impact tickets of the period:")
+	for i, t := range topTickets {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  [%s] impact=%d  %s\n", t.Team, t.Impact, t.Summary)
+	}
+}

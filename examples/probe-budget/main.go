@@ -1,0 +1,102 @@
+// Example probe-budget: demonstrates the §5.3 impact-proportional budgeted
+// probing. It creates several concurrent middle-segment issues of very
+// different client-time impact, gives the active phase a tight traceroute
+// budget, and shows that the budget is spent on the issues that matter —
+// ranked by expected remaining duration × expected affected clients — not
+// on the ones with the most problematic prefixes.
+//
+// Run with: go run ./examples/probe-budget
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+func main() {
+	world := topology.Generate(topology.SmallScale(), 21)
+
+	// Three concurrent middle faults in one region with contrasting
+	// profiles: a long heavy-traffic issue, a long light one, and a brief
+	// flash. The long, heavily used transit should win the budget.
+	transits := world.Transits[netmodel.RegionUSA]
+	day2 := netmodel.Bucket(2 * netmodel.BucketsPerDay)
+	fs := []faults.Fault{
+		{Kind: faults.MiddleASFault, AS: transits[0], ScopeCloud: faults.NoCloud,
+			Start: day2, Duration: 5 * netmodel.BucketsPerHour, ExtraMS: 70,
+			Desc: "long-lived fault on a busy transit"},
+		{Kind: faults.MiddleASFault, AS: transits[3], ScopeCloud: faults.NoCloud,
+			Start: day2, Duration: 5 * netmodel.BucketsPerHour, ExtraMS: 70,
+			Desc: "long-lived fault on a lighter transit"},
+		{Kind: faults.MiddleASFault, AS: transits[5], ScopeCloud: faults.NoCloud,
+			Start: day2 + 6, Duration: 2, ExtraMS: 90,
+			Desc: "10-minute flash on another transit"},
+	}
+	for _, f := range fs {
+		fmt.Printf("injected: %s (%s, %d min)\n", f.Desc, world.ASes[f.AS].Name, f.Duration.Minutes())
+	}
+
+	horizon := netmodel.Bucket(3 * netmodel.BucketsPerDay)
+	table := bgp.NewTable(world, bgp.DefaultChurnConfig(), horizon, 22)
+	simulator := sim.New(world, table, faults.NewSchedule(fs), sim.DefaultConfig(23))
+
+	cfg := pipeline.DefaultConfig()
+	cfg.BudgetPerCloudPerDay = 2 // a very tight budget
+	p := pipeline.New(simulator, cfg)
+	p.Warmup(0, netmodel.BucketsPerDay)
+
+	probedClientTime := make(map[netmodel.ASN]float64)
+	probedCount := make(map[netmodel.ASN]int)
+	skipped := 0
+	p.Run(netmodel.BucketsPerDay, horizon, func(rep *pipeline.Report) {
+		for _, v := range rep.Verdicts {
+			// Attribute the issue to the transit on its path (if any).
+			var as netmodel.ASN
+			for _, m := range v.Issue.Path.Middle {
+				for _, t := range transits {
+					if m == t {
+						as = m
+					}
+				}
+			}
+			if as == 0 {
+				continue
+			}
+			if v.Probed {
+				probedCount[as]++
+				if v.Issue.ClientTime > probedClientTime[as] {
+					probedClientTime[as] = v.Issue.ClientTime
+				}
+			} else {
+				skipped++
+			}
+		}
+	})
+
+	fmt.Printf("\nwith a budget of %d on-demand traceroutes per location per day:\n", cfg.BudgetPerCloudPerDay)
+	type row struct {
+		as netmodel.ASN
+		n  int
+		ct float64
+	}
+	var rows []row
+	for as, n := range probedCount {
+		rows = append(rows, row{as, n, probedClientTime[as]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	for _, r := range rows {
+		fmt.Printf("  %-22s probed %2d times (peak client-time estimate %.0f)\n",
+			world.ASes[r.as].Name, r.n, r.ct)
+	}
+	fmt.Printf("  issues left unprobed by the budget: %d\n", skipped)
+	fmt.Println("\nThe long-lived, heavily used issue receives the probes; the flash issue")
+	fmt.Println("mostly expires before it can out-rank the others — exactly the behaviour")
+	fmt.Println("the client-time-product prioritization is designed for.")
+}

@@ -1,0 +1,3 @@
+module blameit
+
+go 1.22

@@ -1,0 +1,102 @@
+package alerting
+
+import (
+	"strings"
+	"testing"
+
+	"blameit/internal/active"
+	"blameit/internal/core"
+	"blameit/internal/netmodel"
+	"blameit/internal/quartet"
+	"blameit/internal/trace"
+)
+
+func res(blame core.Blame, cloud int, middle netmodel.ASN, clientAS netmodel.ASN, clients int) core.Result {
+	return core.Result{
+		Blame:    blame,
+		BlamedAS: clientAS,
+		Path:     netmodel.Path{Cloud: netmodel.CloudID(cloud), Middle: []netmodel.ASN{middle}, Client: clientAS},
+		Q: quartet.Quartet{Obs: trace.Observation{
+			Cloud: netmodel.CloudID(cloud), Clients: clients,
+		}},
+	}
+}
+
+func TestGenerateGroupsAndRoutes(t *testing.T) {
+	a := NewAlerter(0)
+	results := []core.Result{
+		res(core.BlameCloud, 1, 0, 0, 10),
+		res(core.BlameCloud, 1, 0, 0, 15),
+		res(core.BlameMiddle, 1, 2001, 0, 7),
+		res(core.BlameClient, 1, 0, 10001, 3),
+		res(core.BlameAmbiguous, 1, 0, 0, 99), // never ticketed
+	}
+	tickets := a.Generate(5, results, nil)
+	if len(tickets) != 3 {
+		t.Fatalf("tickets = %d", len(tickets))
+	}
+	// Ranked by impact: cloud (25), middle (7), client (3).
+	if tickets[0].Category != core.BlameCloud || tickets[0].Impact != 25 {
+		t.Errorf("top ticket = %+v", tickets[0])
+	}
+	if tickets[0].Team != TeamCloudInfra {
+		t.Error("cloud ticket misrouted")
+	}
+	if tickets[1].Team != TeamPeering || tickets[2].Team != TeamClientOutreach {
+		t.Error("middle/client tickets misrouted")
+	}
+	// IDs are sequential and unique.
+	if tickets[0].ID == tickets[1].ID {
+		t.Error("duplicate ticket IDs")
+	}
+}
+
+func TestGenerateTopN(t *testing.T) {
+	a := NewAlerter(1)
+	results := []core.Result{
+		res(core.BlameCloud, 1, 0, 0, 10),
+		res(core.BlameClient, 1, 0, 10001, 99),
+	}
+	tickets := a.Generate(5, results, nil)
+	if len(tickets) != 1 {
+		t.Fatalf("tickets = %d, want top-1", len(tickets))
+	}
+	if tickets[0].Category != core.BlameClient {
+		t.Error("top-1 must keep the highest-impact ticket")
+	}
+}
+
+func TestGenerateAttachesCulprit(t *testing.T) {
+	a := NewAlerter(0)
+	mid := res(core.BlameMiddle, 1, 2001, 0, 7)
+	verdicts := []active.Verdict{{
+		Issue:  active.Issue{Key: mid.Path.Key()},
+		Probed: true, OK: true, AS: 2001,
+	}}
+	tickets := a.Generate(5, []core.Result{mid}, verdicts)
+	if len(tickets) != 1 {
+		t.Fatalf("tickets = %d", len(tickets))
+	}
+	if tickets[0].CulpritAS != 2001 {
+		t.Errorf("culprit = %d", tickets[0].CulpritAS)
+	}
+	if !strings.Contains(tickets[0].Summary, "AS2001") {
+		t.Errorf("summary %q missing culprit", tickets[0].Summary)
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	a := NewAlerter(5)
+	if tickets := a.Generate(1, nil, nil); len(tickets) != 0 {
+		t.Error("no results must produce no tickets")
+	}
+}
+
+func TestTicketIDsMonotonicAcrossWindows(t *testing.T) {
+	a := NewAlerter(0)
+	t1 := a.Generate(1, []core.Result{res(core.BlameCloud, 1, 0, 0, 5)}, nil)
+	t2 := a.Generate(2, []core.Result{res(core.BlameCloud, 1, 0, 0, 5)}, nil)
+	if t2[0].ID <= t1[0].ID {
+		t.Error("ticket IDs must increase across windows")
+	}
+}

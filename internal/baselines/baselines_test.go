@@ -1,0 +1,190 @@
+package baselines
+
+import (
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+func testRig(fs []faults.Fault, churn bgp.ChurnConfig, days int) (*topology.World, *bgp.Table, *probe.Engine) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, churn, netmodel.Bucket(days*netmodel.BucketsPerDay), 7)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
+	return w, tbl, probe.NewEngine(s, 0.5)
+}
+
+func TestContinuousProberVolume(t *testing.T) {
+	_, tbl, engine := testRig(nil, bgp.ChurnConfig{}, 1)
+	cp := NewContinuousProber(engine, tbl, 2) // every 10 minutes
+	if cp.NumPaths() == 0 {
+		t.Fatal("no paths")
+	}
+	for b := netmodel.Bucket(0); b < 20; b++ {
+		cp.Advance(b)
+	}
+	want := int64(cp.NumPaths() * 10) // 20 buckets / period 2
+	got := engine.Counters().Count(probe.Background)
+	if got != want {
+		t.Errorf("probes = %d, want %d", got, want)
+	}
+	wantDaily := float64(cp.NumPaths()) * 144
+	if cp.ProbesPerDay() != wantDaily {
+		t.Errorf("probes/day = %v, want %v", cp.ProbesPerDay(), wantDaily)
+	}
+}
+
+func TestContinuousProberCulprit(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	as := w.Tier1s[0]
+	f := faults.Fault{Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud, Start: 100, Duration: 30, ExtraMS: 80}
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := sim.New(w, tbl, faults.NewSchedule([]faults.Fault{f}), sim.DefaultConfig(99))
+	engine := probe.NewEngine(s, 0.5)
+	cp := NewContinuousProber(engine, tbl, 1)
+	for b := netmodel.Bucket(0); b < 100; b++ {
+		cp.Advance(b)
+	}
+	// Find a path through the faulty AS.
+	var victimKey netmodel.MiddleKey
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			path := tbl.PathAt(c.ID, bp.ID, 100)
+			for _, m := range path.Middle {
+				if m == as {
+					victimKey = path.Key()
+				}
+			}
+		}
+	}
+	if victimKey == "" {
+		t.Fatal("no path through faulty AS")
+	}
+	got, seg, ok := cp.Culprit(victimKey, 110)
+	if !ok {
+		t.Fatal("culprit unavailable")
+	}
+	if got != as || seg != netmodel.SegMiddle {
+		t.Errorf("culprit = AS%d (%v), want AS%d (middle)", got, seg, as)
+	}
+}
+
+func TestContinuousProberCulpritUnknownPath(t *testing.T) {
+	_, tbl, engine := testRig(nil, bgp.ChurnConfig{}, 1)
+	cp := NewContinuousProber(engine, tbl, 1)
+	if _, _, ok := cp.Culprit(netmodel.MiddleKey("bogus"), 5); ok {
+		t.Error("unknown path produced a culprit")
+	}
+}
+
+func TestTrinocularBacksOff(t *testing.T) {
+	_, tbl, engine := testRig(nil, bgp.ChurnConfig{}, 2)
+	tp := NewTrinocularProber(engine, tbl, 2, 6)
+	// A quiet first day: cadence should settle at the max interval, so the
+	// second day's probe count approaches paths × 288/6.
+	day := netmodel.Bucket(netmodel.BucketsPerDay)
+	for b := netmodel.Bucket(0); b < day; b++ {
+		tp.Advance(b)
+	}
+	before := engine.Counters().Count(probe.Background)
+	for b := day; b < 2*day; b++ {
+		tp.Advance(b)
+	}
+	secondDay := engine.Counters().Count(probe.Background) - before
+	steady := float64(tp.NumPaths()) * float64(netmodel.BucketsPerDay) / 6
+	if float64(secondDay) > steady*1.6 {
+		t.Errorf("second-day probes %d far above steady-state %v; back-off broken", secondDay, steady)
+	}
+	if float64(secondDay) < steady*0.5 {
+		t.Errorf("second-day probes %d far below steady-state %v", secondDay, steady)
+	}
+}
+
+func TestTrinocularStillCostlierThanBackground(t *testing.T) {
+	// The adaptive prober must still issue far more probes than 2/day/path.
+	_, tbl, engine := testRig(nil, bgp.ChurnConfig{}, 1)
+	tp := NewTrinocularProber(engine, tbl, 2, 6)
+	for b := netmodel.Bucket(0); b < netmodel.BucketsPerDay; b++ {
+		tp.Advance(b)
+	}
+	perPath := float64(engine.Counters().Total()) / float64(tp.NumPaths())
+	if perPath < 20 {
+		t.Errorf("trinocular issues only %.1f probes/path/day", perPath)
+	}
+}
+
+func TestASMetroKeyFuncGroupsByASAndMetro(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	kf := ASMetroKeyFunc(w)
+	// Two prefixes of the same AS+metro share a key even on different paths.
+	var a, b netmodel.PrefixID = -1, -1
+	for i, p := range w.Prefixes {
+		for j := i + 1; j < len(w.Prefixes); j++ {
+			q := w.Prefixes[j]
+			if p.AS == q.AS && p.Metro == q.Metro && p.BGPPrefix != q.BGPPrefix {
+				a, b = p.ID, q.ID
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no same-AS same-metro prefix pair")
+	}
+	c := w.Clouds[0].ID
+	pa := w.InitialPath(c, w.Prefixes[a].BGPPrefix)
+	pb := w.InitialPath(c, w.Prefixes[b].BGPPrefix)
+	if kf(pa, a) != kf(pb, b) {
+		t.Error("same AS+metro prefixes got different keys")
+	}
+	// Different clouds must split the key.
+	c2 := w.Clouds[1].ID
+	pa2 := w.InitialPath(c2, w.Prefixes[a].BGPPrefix)
+	if kf(pa, a) == kf(pa2, a) {
+		t.Error("different clouds share an AS-metro key")
+	}
+}
+
+func TestImpactRankingCurves(t *testing.T) {
+	// Fig. 5's illustrative example: tuple #1 has 3 problematic prefixes
+	// and impact 350; tuple #2 has 1 prefix and impact 2000.
+	ts := []TupleImpact{
+		{Key: "t1", Prefixes: 3, Impact: 350},
+		{Key: "t2", Prefixes: 1, Impact: 2000},
+	}
+	byPrefix := append([]TupleImpact(nil), ts...)
+	RankByPrefixCount(byPrefix)
+	if byPrefix[0].Key != "t1" {
+		t.Error("prefix-count ranking must put t1 first")
+	}
+	byImpact := append([]TupleImpact(nil), ts...)
+	RankByImpact(byImpact)
+	if byImpact[0].Key != "t2" {
+		t.Error("impact ranking must put t2 first")
+	}
+	curve := CoverageCurve(byImpact)
+	if len(curve) != 2 || curve[1] < 0.999 {
+		t.Errorf("coverage curve = %v", curve)
+	}
+	// t2 alone covers 2000/2350 = 85% of impact.
+	if curve[0] < 0.85 || curve[0] > 0.86 {
+		t.Errorf("top-1 coverage = %v", curve[0])
+	}
+	if got := TuplesToCover(curve, 0.8); got != 0.5 {
+		t.Errorf("tuples to cover 80%% = %v, want 0.5", got)
+	}
+	if got := TuplesToCover(curve, 0.99); got != 1.0 {
+		t.Errorf("tuples to cover 99%% = %v, want 1.0", got)
+	}
+}
+
+func TestCoverageCurveEmptyImpact(t *testing.T) {
+	curve := CoverageCurve([]TupleImpact{{Key: "a"}, {Key: "b"}})
+	for _, v := range curve {
+		if v != 0 {
+			t.Error("zero-impact curve must stay zero")
+		}
+	}
+}

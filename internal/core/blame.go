@@ -1,0 +1,269 @@
+// Package core implements BlameIt's passive phase: Algorithm 1 of the
+// paper. Using only the quartet-level RTT observations of existing client
+// connections, it assigns the blame for each bad quartet to the cloud,
+// middle, or client segment — or declares the data insufficient or
+// ambiguous — by hierarchical elimination starting from the cloud.
+//
+// The two empirical insights of §4.1 justify the approach: (1) typically
+// only one segment causes the inflation, and (2) a smaller failure set is
+// more likely than a larger one, so badness across a broad spectrum of a
+// cloud location's clients implicates the cloud rather than thousands of
+// independent client faults.
+package core
+
+import (
+	"fmt"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/quartet"
+)
+
+// Blame is Algorithm 1's verdict for one bad quartet.
+type Blame int
+
+const (
+	// BlameNone marks a quartet that was not bad (no verdict needed).
+	BlameNone Blame = iota
+	// BlameInsufficient: too few quartets in the aggregate to decide.
+	BlameInsufficient
+	// BlameCloud: the cloud location's own network or servers.
+	BlameCloud
+	// BlameMiddle: the transit ASes between cloud and client.
+	BlameMiddle
+	// BlameAmbiguous: the same /24 saw good RTT to another cloud location
+	// in the same window, so no segment can be conclusively blamed.
+	BlameAmbiguous
+	// BlameClient: the client's own ISP.
+	BlameClient
+)
+
+// String names the blame category as in the paper's figures.
+func (b Blame) String() string {
+	switch b {
+	case BlameNone:
+		return "none"
+	case BlameInsufficient:
+		return "insufficient"
+	case BlameCloud:
+		return "cloud"
+	case BlameMiddle:
+		return "middle"
+	case BlameAmbiguous:
+		return "ambiguous"
+	case BlameClient:
+		return "client"
+	default:
+		return fmt.Sprintf("Blame(%d)", int(b))
+	}
+}
+
+// Categories lists the verdict categories in display order.
+func Categories() []Blame {
+	return []Blame{BlameCloud, BlameMiddle, BlameClient, BlameAmbiguous, BlameInsufficient}
+}
+
+// Config holds Algorithm 1's tunables. The defaults are the production
+// values reported in the paper.
+type Config struct {
+	// Tau is the bad-fraction threshold for blaming an aggregate (τ = 0.8
+	// in production; with median-based expected RTTs this tests whether
+	// the distribution shifted left by 30%).
+	Tau float64
+	// MinAggregate is the minimum number of quartets an aggregate needs
+	// before its bad fraction is meaningful (5 in Algorithm 1).
+	MinAggregate int
+	// WeightBySamples switches CalcBadFraction to weight quartets by their
+	// RTT sample count. The paper deliberately leaves this off: a handful
+	// of good high-traffic /24s must not mask badness seen by many
+	// low-traffic /24s. Exposed for the ablation bench.
+	WeightBySamples bool
+	// UseExpectedRTT compares aggregates against learned expected RTTs
+	// (§4.3); when false the static badness target is used instead.
+	// Exposed for the ablation bench.
+	UseExpectedRTT bool
+}
+
+// DefaultConfig returns the production parameters.
+func DefaultConfig() Config {
+	return Config{Tau: 0.8, MinAggregate: 5, WeightBySamples: false, UseExpectedRTT: true}
+}
+
+// PathFunc resolves the AS-level route of a quartet (from the BGP table in
+// effect at the quartet's bucket).
+type PathFunc func(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) netmodel.Path
+
+// Result is Algorithm 1's verdict for one quartet.
+type Result struct {
+	Q     quartet.Quartet
+	Blame Blame
+	// Path is the AS-level route of the quartet; its MiddleKey groups the
+	// quartets that share a middle segment.
+	Path netmodel.Path
+	// BlamedAS is filled for cloud and client verdicts, where the coarse
+	// segment already identifies the AS. Middle verdicts need the active
+	// phase for AS-level localization.
+	BlamedAS netmodel.ASN
+}
+
+// MiddleKeyFunc derives the grouping key of a quartet's middle segment.
+// BlameIt groups by the BGP path (the path's own MiddleKey); the ⟨AS,
+// Metro⟩ baseline of Fig. 11 substitutes a coarser key.
+type MiddleKeyFunc func(path netmodel.Path, p netmodel.PrefixID) netmodel.MiddleKey
+
+// Localizer runs Algorithm 1 over one time window of quartets.
+type Localizer struct {
+	cfg     Config
+	cloudAS netmodel.ASN
+	pathOf  PathFunc
+	th      *Thresholds
+	keyOf   MiddleKeyFunc
+}
+
+// NewLocalizer builds a localizer. th may be nil, in which case the static
+// badness targets stand in for learned expected RTTs.
+func NewLocalizer(cfg Config, cloudAS netmodel.ASN, pathOf PathFunc, th *Thresholds) *Localizer {
+	return &Localizer{
+		cfg: cfg, cloudAS: cloudAS, pathOf: pathOf, th: th,
+		keyOf: func(path netmodel.Path, _ netmodel.PrefixID) netmodel.MiddleKey { return path.Key() },
+	}
+}
+
+// SetMiddleKeyFunc overrides how quartets are grouped into middle
+// aggregates (used by the ⟨AS, Metro⟩ grouping baseline).
+func (l *Localizer) SetMiddleKeyFunc(f MiddleKeyFunc) { l.keyOf = f }
+
+// aggregate accumulates the per-cloud and per-middle bad fractions.
+type aggregate struct {
+	n      int
+	bad    int
+	wTotal float64
+	wBad   float64
+}
+
+func (a *aggregate) add(badVsExpected bool, samples int) {
+	a.n++
+	a.wTotal += float64(samples)
+	if badVsExpected {
+		a.bad++
+		a.wBad += float64(samples)
+	}
+}
+
+func (a *aggregate) badFraction(weighted bool) float64 {
+	if weighted {
+		if a.wTotal == 0 {
+			return 0
+		}
+		return a.wBad / a.wTotal
+	}
+	if a.n == 0 {
+		return 0
+	}
+	return float64(a.bad) / float64(a.n)
+}
+
+// expectedCloud returns the reference RTT for a cloud aggregate.
+func (l *Localizer) expectedCloud(c netmodel.CloudID, d netmodel.DeviceClass, fallback float64) float64 {
+	if l.cfg.UseExpectedRTT && l.th != nil {
+		if v, ok := l.th.CloudExpected(c, d); ok {
+			return v
+		}
+	}
+	return fallback
+}
+
+// expectedMiddle returns the reference RTT for a middle aggregate.
+func (l *Localizer) expectedMiddle(k netmodel.MiddleKey, d netmodel.DeviceClass, fallback float64) float64 {
+	if l.cfg.UseExpectedRTT && l.th != nil {
+		if v, ok := l.th.MiddleExpected(k, d); ok {
+			return v
+		}
+	}
+	return fallback
+}
+
+// Localize assigns blame to every bad quartet in the window. All quartets
+// of the window (good and bad) must be passed: the good ones feed the
+// aggregates and the ambiguity check. Quartets failing the sample gate are
+// excluded from aggregates, as in the paper.
+func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
+	clouds := make(map[netmodel.CloudID]*aggregate)
+	middles := make(map[netmodel.MiddleKey]*aggregate)
+	goodClouds := make(map[netmodel.PrefixID][]netmodel.CloudID) // clouds each prefix reached with good RTT
+	paths := make([]netmodel.Path, len(qs))
+
+	for i, q := range qs {
+		if !q.Enough {
+			continue
+		}
+		o := q.Obs
+		paths[i] = l.pathOf(o.Prefix, o.Cloud, o.Bucket)
+		// Cloud aggregate: compare against the location's expected RTT.
+		ca := clouds[o.Cloud]
+		if ca == nil {
+			ca = &aggregate{}
+			clouds[o.Cloud] = ca
+		}
+		ca.add(o.MeanRTT > l.expectedCloud(o.Cloud, o.Device, q.Target), o.Samples)
+		// Middle aggregate, keyed by the BGP path (or the override).
+		mk := l.keyOf(paths[i], o.Prefix)
+		ma := middles[mk]
+		if ma == nil {
+			ma = &aggregate{}
+			middles[mk] = ma
+		}
+		ma.add(o.MeanRTT > l.expectedMiddle(mk, o.Device, q.Target), o.Samples)
+		if !q.Bad {
+			goodClouds[o.Prefix] = append(goodClouds[o.Prefix], o.Cloud)
+		}
+	}
+
+	results := make([]Result, 0, len(qs))
+	for i, q := range qs {
+		if !q.Enough || !q.Bad {
+			continue
+		}
+		o := q.Obs
+		path := paths[i] // resolved above: every Enough quartet has its path
+		res := Result{Q: q, Path: path}
+		mk := l.keyOf(path, o.Prefix)
+		switch {
+		case clouds[o.Cloud] == nil || clouds[o.Cloud].n <= l.cfg.MinAggregate:
+			res.Blame = BlameInsufficient
+		case clouds[o.Cloud].badFraction(l.cfg.WeightBySamples) >= l.cfg.Tau:
+			res.Blame = BlameCloud
+			res.BlamedAS = l.cloudAS
+		case middles[mk] == nil || middles[mk].n <= l.cfg.MinAggregate:
+			res.Blame = BlameInsufficient
+		case middles[mk].badFraction(l.cfg.WeightBySamples) >= l.cfg.Tau:
+			res.Blame = BlameMiddle
+		case goodToAnotherCloud(goodClouds[o.Prefix], o.Cloud):
+			res.Blame = BlameAmbiguous
+		default:
+			res.Blame = BlameClient
+			res.BlamedAS = path.Client
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// goodToAnotherCloud reports whether any of the clouds a prefix reached
+// with good RTT differs from the bad quartet's cloud.
+func goodToAnotherCloud(goodClouds []netmodel.CloudID, bad netmodel.CloudID) bool {
+	for _, c := range goodClouds {
+		if c != bad {
+			return true
+		}
+	}
+	return false
+}
+
+// Summarize counts verdicts by category.
+func Summarize(rs []Result) map[Blame]int {
+	out := make(map[Blame]int)
+	for _, r := range rs {
+		out[r.Blame]++
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/quartet"
+	"blameit/internal/trace"
+)
+
+// fixedPaths builds a PathFunc from a (prefix, cloud) -> path map.
+type pcKey struct {
+	p netmodel.PrefixID
+	c netmodel.CloudID
+}
+
+func pathFunc(m map[pcKey]netmodel.Path) PathFunc {
+	return func(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) netmodel.Path {
+		path, ok := m[pcKey{p, c}]
+		if !ok {
+			panic(fmt.Sprintf("no path for prefix %d cloud %d", p, c))
+		}
+		return path
+	}
+}
+
+// mkQuartet builds a classified quartet.
+func mkQuartet(p int, c int, rtt float64, target float64, samples int) quartet.Quartet {
+	o := trace.Observation{
+		Prefix: netmodel.PrefixID(p), Cloud: netmodel.CloudID(c),
+		Device: netmodel.NonMobile, Bucket: 7, Samples: samples, MeanRTT: rtt,
+	}
+	return quartet.Classify(o, target)
+}
+
+const cloudASN = netmodel.ASN(8075)
+
+// simplePath gives every (prefix, cloud) a one-AS middle keyed by the given
+// transit, with client AS 100+prefix.
+func simplePath(c int, middle netmodel.ASN, client netmodel.ASN) netmodel.Path {
+	return netmodel.Path{Cloud: netmodel.CloudID(c), Middle: []netmodel.ASN{middle}, Client: client}
+}
+
+func TestBlameCloudWhenAllClientsBad(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// 20 prefixes across two middles, all inflated: the cloud is the
+	// smaller failure set (Insight-2).
+	for p := 0; p < 20; p++ {
+		mid := netmodel.ASN(2000 + p%2)
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, mid, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 90, 50, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 40}, nil)
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 20 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Blame != BlameCloud {
+			t.Fatalf("blame = %v, want cloud", r.Blame)
+		}
+		if r.BlamedAS != cloudASN {
+			t.Fatalf("blamed AS = %d", r.BlamedAS)
+		}
+	}
+}
+
+func TestBlameMiddleWhenOnePathBad(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// 10 prefixes on the faulty middle (AS 2001), all bad.
+	for p := 0; p < 10; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 95, 50, 20))
+	}
+	// 30 prefixes on a healthy middle keep the cloud aggregate below tau.
+	for p := 10; p < 40; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2002, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 30, 50, 20))
+	}
+	badKey := simplePath(1, 2001, 0).Key()
+	goodKey := simplePath(1, 2002, 0).Key()
+	th := StaticThresholds(
+		map[netmodel.CloudID]float64{1: 35},
+		map[netmodel.MiddleKey]float64{badKey: 38, goodKey: 38},
+	)
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 10 {
+		t.Fatalf("results = %d, want only the 10 bad quartets", len(rs))
+	}
+	for _, r := range rs {
+		if r.Blame != BlameMiddle {
+			t.Fatalf("blame = %v, want middle", r.Blame)
+		}
+		if r.Path.Key() != badKey {
+			t.Fatal("middle verdict carries the wrong path")
+		}
+	}
+}
+
+func TestBlameClientWhenIsolated(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// One bad prefix among many good ones sharing its middle.
+	for p := 0; p < 12; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		rtt := 30.0
+		if p == 0 {
+			rtt = 120
+		}
+		qs = append(qs, mkQuartet(p, 1, rtt, 50, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 35},
+		map[netmodel.MiddleKey]float64{simplePath(1, 2001, 0).Key(): 35})
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 1 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Blame != BlameClient {
+		t.Fatalf("blame = %v, want client", rs[0].Blame)
+	}
+	if rs[0].BlamedAS != 100 {
+		t.Fatalf("blamed AS = %d, want the client AS 100", rs[0].BlamedAS)
+	}
+}
+
+func TestBlameAmbiguousWhenGoodElsewhere(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	for p := 0; p < 12; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		rtt := 30.0
+		if p == 0 {
+			rtt = 120
+		}
+		qs = append(qs, mkQuartet(p, 1, rtt, 50, 20))
+	}
+	// Prefix 0 also reaches cloud 2 with good RTT in the same window.
+	paths[pcKey{0, 2}] = simplePath(2, 2005, 100)
+	qs = append(qs, mkQuartet(0, 2, 25, 50, 20))
+	// Cloud 2 needs company to pass its aggregate gate — irrelevant here
+	// since only cloud 1's bad quartet is localized.
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 35, 2: 35},
+		map[netmodel.MiddleKey]float64{simplePath(1, 2001, 0).Key(): 35})
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 1 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Blame != BlameAmbiguous {
+		t.Fatalf("blame = %v, want ambiguous", rs[0].Blame)
+	}
+}
+
+func TestBlameInsufficientCloudAggregate(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// Only 3 quartets at the cloud: below the MinAggregate of 5.
+	for p := 0; p < 3; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 90, 50, 20))
+	}
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), nil)
+	rs := l.Localize(qs)
+	for _, r := range rs {
+		if r.Blame != BlameInsufficient {
+			t.Fatalf("blame = %v, want insufficient", r.Blame)
+		}
+	}
+}
+
+func TestBlameInsufficientMiddleAggregate(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// Plenty of quartets at the cloud (mostly good), but the bad quartet's
+	// middle has only itself.
+	paths[pcKey{0, 1}] = simplePath(1, 2009, 100)
+	qs = append(qs, mkQuartet(0, 1, 120, 50, 20))
+	for p := 1; p < 12; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 30, 50, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 35}, nil)
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 1 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Blame != BlameInsufficient {
+		t.Fatalf("blame = %v, want insufficient (middle aggregate too small)", rs[0].Blame)
+	}
+}
+
+// TestWorkedExampleSection43 reproduces the §4.3 worked example: with RTTs
+// uniform in [40,70] after a cloud fault, a 50ms static threshold sees only
+// 1/3 of quartets bad (no cloud blame at τ=0.8), while the learned 40ms
+// expected RTT sees all of them shifted and correctly blames the cloud.
+func TestWorkedExampleSection43(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	n := 30
+	for p := 0; p < n; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, netmodel.ASN(2000+p%3), netmodel.ASN(100+p))
+		// RTTs spread uniformly across [40, 70].
+		rtt := 40 + 30*float64(p)/float64(n-1)
+		qs = append(qs, mkQuartet(p, 1, rtt, 50, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 40}, nil)
+
+	// With learned expected RTT: every bad quartet blames the cloud.
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	for _, r := range l.Localize(qs) {
+		if r.Blame != BlameCloud {
+			t.Fatalf("with expected RTT: blame = %v, want cloud", r.Blame)
+		}
+	}
+
+	// Ablation: using the static 50ms threshold instead, the bad fraction
+	// is ~1/3 < τ and the cloud escapes blame.
+	cfg := DefaultConfig()
+	cfg.UseExpectedRTT = false
+	l2 := NewLocalizer(cfg, cloudASN, pathFunc(paths), th)
+	for _, r := range l2.Localize(qs) {
+		if r.Blame == BlameCloud {
+			t.Fatal("without expected RTT the cloud should escape blame")
+		}
+	}
+}
+
+// TestUnweightedBadFraction verifies the deliberate design choice in
+// CalcBadFraction: a single high-traffic good /24 must not mask badness
+// seen by many low-traffic /24s. Weighting by samples (the ablation) does
+// mask it.
+func TestUnweightedBadFraction(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// 9 bad low-traffic prefixes and 1 good whale share a middle segment.
+	for p := 0; p < 9; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 95, 50, 12))
+	}
+	paths[pcKey{9, 1}] = simplePath(1, 2001, 109)
+	qs = append(qs, mkQuartet(9, 1, 30, 50, 5000))
+	// Keep the cloud aggregate healthy with a separate good middle.
+	for p := 10; p < 50; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2002, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 30, 50, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 35},
+		map[netmodel.MiddleKey]float64{
+			simplePath(1, 2001, 0).Key(): 38,
+			simplePath(1, 2002, 0).Key(): 38,
+		})
+
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	for _, r := range l.Localize(qs) {
+		if r.Blame != BlameMiddle {
+			t.Fatalf("unweighted: blame = %v, want middle", r.Blame)
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.WeightBySamples = true
+	l2 := NewLocalizer(cfg, cloudASN, pathFunc(paths), th)
+	for _, r := range l2.Localize(qs) {
+		if r.Blame == BlameMiddle {
+			t.Fatal("weighted ablation should mask the middle issue")
+		}
+	}
+}
+
+func TestInsufficientSamplesExcluded(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	for p := 0; p < 10; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 95, 50, 3)) // below MinSamples
+	}
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), nil)
+	if rs := l.Localize(qs); len(rs) != 0 {
+		t.Fatalf("under-sampled quartets produced %d verdicts", len(rs))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rs := []Result{{Blame: BlameCloud}, {Blame: BlameCloud}, {Blame: BlameClient}}
+	s := Summarize(rs)
+	if s[BlameCloud] != 2 || s[BlameClient] != 1 {
+		t.Errorf("summary = %v", s)
+	}
+}
+
+func TestBlameString(t *testing.T) {
+	names := map[Blame]string{
+		BlameNone: "none", BlameInsufficient: "insufficient", BlameCloud: "cloud",
+		BlameMiddle: "middle", BlameAmbiguous: "ambiguous", BlameClient: "client",
+	}
+	for b, want := range names {
+		if b.String() != want {
+			t.Errorf("%v != %s", b, want)
+		}
+	}
+	if Blame(42).String() != "Blame(42)" {
+		t.Error("unknown blame formatting")
+	}
+	if len(Categories()) != 5 {
+		t.Error("Categories must list 5 verdicts")
+	}
+}

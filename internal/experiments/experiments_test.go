@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/topology"
+)
+
+// smallEnv builds a small fault-free environment.
+func smallEnv(days int) *Env {
+	return NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: days, Churn: bgp.DefaultChurnConfig()})
+}
+
+// smallEnvWithRandomFaults adds the default randomized schedule.
+func smallEnvWithRandomFaults(days int, seed int64) *Env {
+	w := topology.Generate(topology.SmallScale(), 42)
+	horizon := netmodel.Bucket(days * netmodel.BucketsPerDay)
+	fs := faults.Generate(w, faults.DefaultGenerateConfig(), horizon, seed)
+	return NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: days, Churn: bgp.DefaultChurnConfig(), Faults: fs.Faults})
+}
+
+func TestTable1Renders(t *testing.T) {
+	tbl := Table1Properties()
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatal("ragged table")
+		}
+		if row[1] != "yes" {
+			t.Errorf("BlameIt must satisfy %q", row[0])
+		}
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTable2Dataset(t *testing.T) {
+	e := smallEnv(1)
+	tbl, ds := Table2Dataset(e, 7)
+	if ds.RTTMeasurements <= 0 || ds.Client24s <= 0 || ds.BGPPrefixes <= 0 {
+		t.Fatalf("dataset stats %+v", ds)
+	}
+	if ds.Client24s < ds.BGPPrefixes {
+		t.Error("/24s must outnumber BGP prefixes")
+	}
+	if ds.RTTMeasurements < int64(ds.Client24s) {
+		t.Error("measurements must outnumber prefixes")
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	t.Logf("table2:\n%s", buf.String())
+}
+
+func TestFigure2Shape(t *testing.T) {
+	e := smallEnvWithRandomFaults(1, 7)
+	fig, res := Figure2BadQuartets(e, 0, 1)
+	if len(fig.Series) != netmodel.NumDeviceClasses {
+		t.Fatal("series count")
+	}
+	if res.Total == 0 {
+		t.Fatal("no quartets")
+	}
+	// Badness must be present but not overwhelming in every region.
+	for _, reg := range netmodel.AllRegions() {
+		frac := res.Frac[reg][netmodel.NonMobile]
+		if frac < 0 || frac > 0.6 {
+			t.Errorf("%v non-mobile bad fraction = %v", reg, frac)
+		}
+	}
+	t.Logf("fig2 fractions: %+v", res.Frac)
+}
+
+func TestFigure3Shape(t *testing.T) {
+	e := smallEnv(7)
+	fig, res := Figure3Diurnal(e)
+	if len(res.CountryHourly) != 168 {
+		t.Fatalf("hours = %d", len(res.CountryHourly))
+	}
+	if !res.NightHigherThanDay {
+		t.Error("night badness must exceed work-hours badness (paper §2.2)")
+	}
+	if len(fig.Series) != 3 {
+		t.Error("want USA + two ISPs")
+	}
+	t.Logf("fig3 notes: %v", fig.Notes)
+}
+
+func TestFigure4aShape(t *testing.T) {
+	e := smallEnvWithRandomFaults(2, 11)
+	_, res := Figure4aPersistence(e, 1, 2)
+	if len(res.Durations) == 0 {
+		t.Fatal("no incidents")
+	}
+	if res.FracOneBucket < 0.4 {
+		t.Errorf("one-bucket fraction = %v, want the majority fleeting", res.FracOneBucket)
+	}
+	if res.FracOver2h > 0.2 {
+		t.Errorf("long-tail fraction = %v, too heavy", res.FracOver2h)
+	}
+	t.Logf("fig4a: 1-bucket=%.2f >2h=%.3f n=%d", res.FracOneBucket, res.FracOver2h, len(res.Durations))
+}
+
+func TestFigure4bShape(t *testing.T) {
+	e := smallEnvWithRandomFaults(2, 13)
+	_, res := Figure4bImpactSkew(e, 1, 2)
+	if len(res.Tuples) == 0 {
+		t.Fatal("no tuples")
+	}
+	if res.TuplesFor80ByImpact > res.TuplesFor80ByPrefix {
+		t.Errorf("impact ranking (%.2f) must need no more tuples than prefix ranking (%.2f)",
+			res.TuplesFor80ByImpact, res.TuplesFor80ByPrefix)
+	}
+	t.Logf("fig4b: byImpact=%.2f byPrefix=%.2f advantage=%.1fx tuples=%d",
+		res.TuplesFor80ByImpact, res.TuplesFor80ByPrefix, res.RatioAdvantage, len(res.Tuples))
+}
+
+func TestFigure5Example(t *testing.T) {
+	tbl := Figure5Example()
+	if len(tbl.Rows) != 2 {
+		t.Fatal("rows")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	e := smallEnv(1)
+	_, res := Figure6Grouping(e)
+	if len(res.ByBGPPath) != len(e.World.Prefixes) {
+		t.Fatal("missing prefixes")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	mp, ma, mpath := mean(res.ByBGPPrefix), mean(res.ByBGPAtom), mean(res.ByBGPPath)
+	if mpath < ma || ma < mp {
+		t.Errorf("sharing must grow prefix(%.1f) <= atom(%.1f) <= path(%.1f)", mp, ma, mpath)
+	}
+	t.Logf("fig6 means: prefix=%.1f atom=%.1f path=%.1f", mp, ma, mpath)
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-day pipeline in -short mode")
+	}
+	days := 4
+	base := smallEnv(1)
+	fs := Fig8Schedule(base, 1, days, 2, 17)
+	e := NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: days + 1, Churn: bgp.DefaultChurnConfig(), Faults: fs})
+	_, res := Figure8BlameFractions(e, 1, days, 2)
+	for _, cat := range core.Categories() {
+		if len(res.Daily[cat]) != days {
+			t.Fatal("missing days")
+		}
+	}
+	// Cloud fraction should spike on the maintenance day.
+	cloud := res.Daily[core.BlameCloud]
+	if cloud[2] <= cloud[1] && cloud[2] <= cloud[3] {
+		t.Errorf("maintenance day cloud fraction %.3f not elevated vs %.3f/%.3f", cloud[2], cloud[1], cloud[3])
+	}
+	t.Logf("fig8 cloud=%v middle=%v client=%v insuff=%v ambig=%v",
+		res.Daily[core.BlameCloud], res.Daily[core.BlameMiddle], res.Daily[core.BlameClient],
+		res.Daily[core.BlameInsufficient], res.Daily[core.BlameAmbiguous])
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline day in -short mode")
+	}
+	base := smallEnv(1)
+	fs := Fig9Schedule(base, 1, 19)
+	e := NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: 2, Churn: bgp.DefaultChurnConfig(), Faults: fs})
+	_, res := Figure9RegionalBlame(e, 1)
+	boosted := res.Frac[netmodel.RegionIndia][core.BlameMiddle] +
+		res.Frac[netmodel.RegionChina][core.BlameMiddle] +
+		res.Frac[netmodel.RegionBrazil][core.BlameMiddle]
+	usa := res.Frac[netmodel.RegionUSA][core.BlameMiddle]
+	t.Logf("fig9 middle: india=%.2f china=%.2f brazil=%.2f usa=%.2f",
+		res.Frac[netmodel.RegionIndia][core.BlameMiddle],
+		res.Frac[netmodel.RegionChina][core.BlameMiddle],
+		res.Frac[netmodel.RegionBrazil][core.BlameMiddle], usa)
+	if boosted/3 <= usa {
+		t.Errorf("boosted regions' middle fraction (%.2f avg) not above USA (%.2f)", boosted/3, usa)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline days in -short mode")
+	}
+	base := smallEnv(1)
+	horizon := netmodel.Bucket(3 * netmodel.BucketsPerDay)
+	fs := faults.Generate(base.World, faults.DefaultGenerateConfig(), horizon, 23)
+	e := NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: 3, Churn: bgp.DefaultChurnConfig(), Faults: fs.Faults})
+	_, res := Figure10DurationByCategory(e, 1, 2)
+	total := 0
+	for _, ds := range res.Durations {
+		total += len(ds)
+	}
+	if total == 0 {
+		t.Fatal("no incidents")
+	}
+	t.Logf("fig10 incident counts: cloud=%d middle=%d client=%d",
+		len(res.Durations[core.BlameCloud]), len(res.Durations[core.BlameMiddle]), len(res.Durations[core.BlameClient]))
+}
+
+func TestRunCasesFiveScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case studies in -short mode")
+	}
+	w := topology.Generate(topology.SmallScale(), 42)
+	warmup := 1
+	// Shift scenarios to start after warmup.
+	scs := faults.CaseStudies(w, 3)
+	var fs []faults.Fault
+	for i := range scs {
+		scs[i].Fault.Start += netmodel.Bucket(warmup * netmodel.BucketsPerDay)
+		fs = append(fs, scs[i].Fault)
+	}
+	days := int(scs[len(scs)-1].Fault.End())/netmodel.BucketsPerDay + 2
+	e := NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: days, Churn: bgp.DefaultChurnConfig(), Faults: fs})
+	outcomes := RunCases(e, scs, warmup)
+	if len(outcomes) != 5 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	correct := 0
+	for _, co := range outcomes {
+		t.Logf("case %s: truth=%v blamed=%v conf=%.2f activeAS=%d (truth %d)",
+			co.Name, co.TruthSegment, co.BlamedSegment, co.Confidence, co.ActiveAS, co.TruthAS)
+		if co.CorrectSegment {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Errorf("only %d/5 case studies localized correctly", correct)
+	}
+}
+
+func TestTomographyInfeasibility(t *testing.T) {
+	tbl, res := TomographyInfeasibility(5)
+	if res.Rank >= res.Unknowns {
+		t.Error("system must be rank-deficient")
+	}
+	if res.CloudIdent {
+		t.Error("lc1 must be unidentifiable")
+	}
+	if !res.CompIdent || !res.DiffIdent {
+		t.Error("composites must be identifiable")
+	}
+	if !res.BoolAmbig {
+		t.Error("boolean instance must be ambiguous")
+	}
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFigureRenderAndSparkline(t *testing.T) {
+	fig := &Figure{
+		ID: "X", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}},
+	}
+	var buf bytes.Buffer
+	fig.Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty figure render")
+	}
+	if sparkline(nil, 10) != "" {
+		t.Error("empty sparkline")
+	}
+	if got := len([]rune(sparkline([]float64{1, 2, 3}, 10))); got != 3 {
+		t.Errorf("short series sparkline length = %d", got)
+	}
+	if fmtInt(1234567) != "1,234,567" || fmtInt(-42) != "-42" || fmtInt(7) != "7" {
+		t.Error("fmtInt broken")
+	}
+}
+
+func TestIncidentBatterySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incident battery in -short mode")
+	}
+	tbl, outcomes := IncidentBatterySuite(topology.SmallScale(), 42, 20)
+	if len(outcomes) != 20 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	if len(tbl.Rows) != 20 {
+		t.Fatal("table rows")
+	}
+	frac := CorrectFraction(outcomes)
+	if frac < 0.85 {
+		for _, co := range outcomes {
+			if !co.CorrectSegment {
+				t.Logf("wrong: %s truth=%v blamed=%v conf=%.2f localized=%v",
+					co.Name, co.TruthSegment, co.BlamedSegment, co.Confidence, co.Localized)
+			}
+		}
+		t.Errorf("battery correct fraction = %.2f (paper: 88/88)", frac)
+	}
+	t.Logf("battery: %d/%d correct", int(frac*20+0.5), 20)
+}
+
+func TestReverseEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reverse eval in -short mode")
+	}
+	tbl, res := ReverseEval(topology.SmallScale(), 42, 15)
+	if res.Episodes != 15 {
+		t.Fatalf("episodes = %d", res.Episodes)
+	}
+	if res.ForwardAccuracy > 0.3 {
+		t.Errorf("forward-only accuracy = %.2f; reverse faults should be invisible to forward probing", res.ForwardAccuracy)
+	}
+	if res.ReverseAccuracy <= res.ForwardAccuracy {
+		t.Errorf("reverse re-check (%.2f) must beat forward-only (%.2f)", res.ReverseAccuracy, res.ForwardAccuracy)
+	}
+	if res.Covered == 0 {
+		t.Fatal("no covered episodes")
+	}
+	if res.CoveredAccuracy < 0.8 {
+		t.Errorf("accuracy within rich-client coverage = %.2f, want high", res.CoveredAccuracy)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Error("table rows")
+	}
+	t.Logf("reverse eval: forward=%.2f reverse=%.2f covered=%.2f suspicious=%d/%d",
+		res.ForwardAccuracy, res.ReverseAccuracy, res.CoveredAccuracy, res.SuspiciousFlagged, res.Episodes)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/probe"
+	"blameit/internal/reverse"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// ReverseEvalResult compares forward-only against reverse-assisted
+// localization on reverse-direction congestion (the §5.1 extension).
+type ReverseEvalResult struct {
+	Episodes        int
+	ForwardCorrect  int
+	ReverseCorrect  int
+	ForwardAccuracy float64
+	ReverseAccuracy float64
+	// Covered counts episodes whose client sits within rich-client reach;
+	// CoveredAccuracy is the reverse-assisted accuracy among those.
+	Covered         int
+	CoveredCorrect  int
+	CoveredAccuracy float64
+	// SuspiciousFlagged counts forward outcomes the heuristic routed to a
+	// reverse re-check.
+	SuspiciousFlagged int
+}
+
+// ReverseEval injects reverse-only middle faults on asymmetric routes and
+// grades, per affected (cloud, prefix) episode, whether the investigation
+// names the faulty AS — once with forward traceroutes alone (the paper's
+// production mechanism) and once with the rich-client reverse re-check.
+func ReverseEval(scale topology.Scale, seed int64, nFaults int) (*Table, ReverseEvalResult) {
+	w := topology.Generate(scale, seed)
+	r := rand.New(rand.NewSource(seed + 31))
+
+	// Collect asymmetric victims: (cloud, prefix, reverse-only AS).
+	type victim struct {
+		c  netmodel.CloudID
+		p  netmodel.PrefixID
+		as netmodel.ASN
+	}
+	var victims []victim
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			if !w.Asymmetric(c.ID, bp.ID) {
+				continue
+			}
+			onFwd := make(map[netmodel.ASN]bool)
+			for _, a := range w.InitialPath(c.ID, bp.ID).Middle {
+				onFwd[a] = true
+			}
+			for _, a := range w.ReversePath(c.ID, bp.ID).Middle {
+				if !onFwd[a] {
+					victims = append(victims, victim{c.ID, w.PrefixesOfBGP(bp.ID)[0], a})
+					break
+				}
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return &Table{ID: "ReverseEval", Title: "no asymmetric routes"}, ReverseEvalResult{}
+	}
+
+	// Sequential reverse-only faults, one per sampled victim.
+	start := netmodel.Bucket(netmodel.BucketsPerDay)
+	var fs []faults.Fault
+	var picked []victim
+	at := start
+	for i := 0; i < nFaults; i++ {
+		v := victims[r.Intn(len(victims))]
+		dur := netmodel.Bucket(12 + r.Intn(12))
+		fs = append(fs, faults.Fault{
+			Kind: faults.MiddleASFault, AS: v.as, ScopeCloud: faults.NoCloud,
+			Start: at, Duration: dur, ExtraMS: 60 + 60*r.Float64(), ReverseOnly: true,
+			Desc: fmt.Sprintf("reverse congestion in AS%d", v.as),
+		})
+		picked = append(picked, v)
+		at += dur + 6
+	}
+	horizon := at + 6
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, horizon, seed+2)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(seed+3))
+	engine := probe.NewEngine(s, 0.5)
+	co := reverse.NewCoordinator(reverse.DefaultConfig(), engine)
+
+	// Establish both forward and reverse baselines over the first day.
+	bg := probe.NewBaseliner(probe.DefaultBackgroundConfig(), engine, tbl)
+	for b := netmodel.Bucket(0); b < start; b++ {
+		bg.Advance(b)
+		co.Advance(b)
+	}
+
+	var res ReverseEvalResult
+	for i, f := range fs {
+		v := picked[i]
+		b := f.Start + f.Duration/2
+		res.Episodes++
+		// Forward investigation: on-demand traceroute vs pre-fault baseline.
+		now := engine.Traceroute(v.c, v.p, b, probe.OnDemand)
+		fwdOK := false
+		var fwd probe.CompareResult
+		if baseline, ok := bg.BaselineBefore(now.Path.Key(), f.Start-1); ok {
+			fwd = probe.Compare(now, baseline)
+			fwdOK = fwd.OK
+		}
+		if fwdOK && fwd.AS == v.as {
+			res.ForwardCorrect++
+		}
+		// Reverse-assisted: re-check suspicious forward outcomes.
+		verdictAS := fwd.AS
+		verdictOK := fwdOK
+		if reverse.Suspicious(fwdOK, fwd.Segment, fwd.IncreaseMS) {
+			res.SuspiciousFlagged++
+			// The forward diff parks reverse congestion on the first hop
+			// with the full magnitude, so the comparison is not "which
+			// increase is larger" — the reverse probe wins by being able
+			// to PLACE a meaningful increase on a specific middle AS.
+			if rres, ok := co.Localize(v.c, v.p, b, f.Start-1); ok &&
+				rres.Segment == netmodel.SegMiddle && rres.IncreaseMS > 5 {
+				verdictAS = rres.AS
+				verdictOK = true
+			}
+		}
+		correct := verdictOK && verdictAS == v.as
+		if correct {
+			res.ReverseCorrect++
+		}
+		if co.Covered(v.c, v.p) {
+			res.Covered++
+			if correct {
+				res.CoveredCorrect++
+			}
+		}
+	}
+	res.ForwardAccuracy = float64(res.ForwardCorrect) / float64(res.Episodes)
+	res.ReverseAccuracy = float64(res.ReverseCorrect) / float64(res.Episodes)
+	if res.Covered > 0 {
+		res.CoveredAccuracy = float64(res.CoveredCorrect) / float64(res.Covered)
+	}
+
+	t := &Table{
+		ID:     "ReverseEval",
+		Title:  "Extension (§5.1 future work): reverse-direction congestion localization",
+		Header: []string{"Investigation", "Correct culprit", "Accuracy"},
+		Rows: [][]string{
+			{"forward traceroutes only (production)", fmt.Sprintf("%d/%d", res.ForwardCorrect, res.Episodes), fmtPct(res.ForwardAccuracy)},
+			{"with rich-client reverse re-check", fmt.Sprintf("%d/%d", res.ReverseCorrect, res.Episodes), fmtPct(res.ReverseAccuracy)},
+			{"  of which within rich-client coverage", fmt.Sprintf("%d/%d", res.CoveredCorrect, res.Covered), fmtPct(res.CoveredAccuracy)},
+		},
+		Notes: []string{
+			"reverse-only faults sit on the client->cloud route of asymmetric pairs; forward per-AS diffs park the inflation on the first hop",
+			fmt.Sprintf("%d/%d forward outcomes flagged suspicious and routed to the reverse re-check", res.SuspiciousFlagged, res.Episodes),
+		},
+	}
+	return t, res
+}

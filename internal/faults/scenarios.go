@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/topology"
+)
+
+// Scenario is a named, reproducible incident mirroring one of the §6.3
+// real-world case studies, together with its ground truth.
+type Scenario struct {
+	Name  string
+	Desc  string
+	Fault Fault
+	Truth GroundTruth
+}
+
+// cloudInRegion returns a cloud location in the region (the first by ID) —
+// every generated world has at least one per region.
+func cloudInRegion(w *topology.World, reg netmodel.Region) netmodel.CloudLocation {
+	ids := w.CloudsInRegion(reg)
+	return w.Clouds[ids[0]]
+}
+
+// ScenarioBrazilMaintenance reproduces case study 1: an unfinished
+// maintenance operation inside the cloud location in Brazil degraded South
+// American clients for a couple of days before being fixed.
+func ScenarioBrazilMaintenance(w *topology.World, start netmodel.Bucket) Scenario {
+	c := cloudInRegion(w, netmodel.RegionBrazil)
+	f := Fault{
+		Kind: CloudFault, Cloud: c.ID, ScopeCloud: NoCloud,
+		Start: start, Duration: 2 * netmodel.BucketsPerDay, ExtraMS: 65,
+		Desc: fmt.Sprintf("unfinished maintenance inside %s (internal routing issues)", c.Name),
+	}
+	return Scenario{
+		Name:  "brazil-maintenance",
+		Desc:  "Maintenance in Brazil: internal routing issues at a cloud location raise RTTs for South American clients for ~2 days.",
+		Fault: f,
+		Truth: f.Truth(w),
+	}
+}
+
+// ScenarioPeeringFault reproduces case study 2: changes inside a peering AS
+// raised latency for clients across the USA; the issue spans every cloud
+// location peering with that AS, so the fault is AS-wide.
+func ScenarioPeeringFault(w *topology.World, start netmodel.Bucket) Scenario {
+	// Pick a USA transit AS that appears on many paths.
+	as := w.Transits[netmodel.RegionUSA][0]
+	f := Fault{
+		Kind: MiddleASFault, AS: as, ScopeCloud: NoCloud,
+		Start: start, Duration: 6 * netmodel.BucketsPerHour, ExtraMS: 45,
+		Desc: fmt.Sprintf("path changes inside peering AS %s affecting east/west/central USA", w.ASes[as].Name),
+	}
+	return Scenario{
+		Name:  "usa-peering-fault",
+		Desc:  "Peering fault: a widespread middle-segment issue caused by changes inside a peering AS, affecting clients across the USA.",
+		Fault: f,
+		Truth: f.Truth(w),
+	}
+}
+
+// ScenarioCloudOverloadAustralia reproduces case study 3: CPU overload at an
+// Australian cloud location pushed the median RTT from 25ms to 82ms. The
+// same BGP paths serving other nearby locations stayed healthy, which is
+// exactly what lets Algorithm 1 pin the cloud segment.
+func ScenarioCloudOverloadAustralia(w *topology.World, start netmodel.Bucket) Scenario {
+	c := cloudInRegion(w, netmodel.RegionAustralia)
+	f := Fault{
+		Kind: CloudFault, Cloud: c.ID, ScopeCloud: NoCloud,
+		Start: start, Duration: 4 * netmodel.BucketsPerHour, ExtraMS: 57,
+		Desc: fmt.Sprintf("server CPU overload at %s (median RTT 25ms -> 82ms)", c.Name),
+	}
+	return Scenario{
+		Name:  "australia-cloud-overload",
+		Desc:  "Cloud overload in Australia: server overload raises RTTs for every client of one location while shared BGP paths to nearby locations stay good.",
+		Fault: f,
+		Truth: f.Truth(w),
+	}
+}
+
+// ScenarioTrafficShiftEastAsia reproduces case study 4: BGP announcement
+// side-effects routed East-Asian clients to a US-west-coast location; the
+// poorly provisioned long-haul middle segment drove the latency up.
+func ScenarioTrafficShiftEastAsia(w *topology.World, start netmodel.Bucket, r *rand.Rand) Scenario {
+	target := cloudInRegion(w, netmodel.RegionUSA)
+	// A BGP side-effect reroutes announcements, so whole BGP prefixes move
+	// together and the rerouted clients share the few long-haul paths to
+	// the target. Pick the largest path-sharing groups of East-Asian BGP
+	// prefixes — enough clients to aggregate per middle segment, but still
+	// a minority of the target location's population so the cloud
+	// aggregate is not swamped (as in the real incident).
+	groups := make(map[netmodel.MiddleKey][]netmodel.PrefixID)
+	for _, bp := range w.BGPPrefixes {
+		if w.ASes[bp.AS].Region != netmodel.RegionEastAsia {
+			continue
+		}
+		mk := w.InitialPath(target.ID, bp.ID).Key()
+		groups[mk] = append(groups[mk], w.PrefixesOfBGP(bp.ID)...)
+	}
+	keys := make([]netmodel.MiddleKey, 0, len(groups))
+	for mk := range groups {
+		keys = append(keys, mk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(groups[keys[i]]) != len(groups[keys[j]]) {
+			return len(groups[keys[i]]) > len(groups[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+	var shifted []netmodel.PrefixID
+	for _, mk := range keys {
+		if len(shifted) >= 50 {
+			break
+		}
+		shifted = append(shifted, groups[mk]...)
+	}
+	f := Fault{
+		Kind: TrafficShift, Cloud: target.ID, ScopeCloud: NoCloud, ShiftPrefixes: shifted,
+		Start: start, Duration: 5 * netmodel.BucketsPerHour,
+		// The rerouted traffic rarely flows this direction, so the client
+		// ISPs have no good peers for it: the long-haul middle segment of
+		// the new path carries congestion on top of its propagation delay.
+		ExtraMS: 40,
+		Desc:    fmt.Sprintf("BGP side-effect routes %d East-Asian prefixes to %s", len(shifted), target.Name),
+	}
+	return Scenario{
+		Name:  "eastasia-traffic-shift",
+		Desc:  "Traffic shift from East Asia to the US west coast: rerouted clients traverse a long-haul middle segment with poor connectivity.",
+		Fault: f,
+		Truth: f.Truth(w),
+	}
+}
+
+// ScenarioClientISPItaly reproduces case study 5: an unannounced maintenance
+// inside a client ISP in a major Italian city raised the median RTT from
+// 9ms to 161ms; the cloud could do nothing about it.
+func ScenarioClientISPItaly(w *topology.World, start netmodel.Bucket) Scenario {
+	as := w.Eyeballs[netmodel.RegionEurope][0]
+	f := Fault{
+		Kind: ClientASFault, AS: as, ScopeCloud: NoCloud,
+		Start: start, Duration: 8 * netmodel.BucketsPerHour, ExtraMS: 152,
+		Desc: fmt.Sprintf("unannounced maintenance inside client ISP %s (median RTT 9ms -> 161ms)", w.ASes[as].Name),
+	}
+	return Scenario{
+		Name:  "italy-client-isp",
+		Desc:  "Client ISP issue in Italy: maintenance inside the client ISP; blame falls on the client segment, avoiding wasted cloud-side investigation.",
+		Fault: f,
+		Truth: f.Truth(w),
+	}
+}
+
+// CaseStudies returns the five named §6.3 scenarios, spaced out in time so
+// they do not overlap.
+func CaseStudies(w *topology.World, seed int64) []Scenario {
+	r := rand.New(rand.NewSource(seed))
+	day := netmodel.Bucket(netmodel.BucketsPerDay)
+	return []Scenario{
+		ScenarioBrazilMaintenance(w, 2*netmodel.BucketsPerHour),
+		ScenarioPeeringFault(w, 2*day+3*netmodel.BucketsPerHour),
+		ScenarioCloudOverloadAustralia(w, 3*day+5*netmodel.BucketsPerHour),
+		// The traffic shift plays out during evening peak hours: the
+		// rerouted prefixes' quartets need enough connection volume for
+		// the middle aggregates on the unusual long-haul paths to pass the
+		// minimum-sample gates.
+		ScenarioTrafficShiftEastAsia(w, 4*day+17*netmodel.BucketsPerHour, r),
+		ScenarioClientISPItaly(w, 5*day+6*netmodel.BucketsPerHour),
+	}
+}
+
+// MiddleBattery generates n sequential, non-overlapping middle-AS faults
+// starting at `start`, separated by `gap` buckets of quiet time. It is the
+// workload behind the active-phase evaluations (Figs. 11-13): one middle
+// issue at a time keeps the ground truth unambiguous.
+func MiddleBattery(w *topology.World, n int, start, gap netmodel.Bucket, seed int64) []Fault {
+	r := rand.New(rand.NewSource(seed))
+	// Target regional transits: they carry the bulk of client traffic, so
+	// the incidents are high-impact like the ones operators investigate.
+	// (Tier-1 backbones in the synthetic world carry only the small
+	// cross-region anycast spillover; the traffic-shift scenario exercises
+	// them.) Scoped faults stay within the transit's own region, where it
+	// actually serves paths.
+	var out []Fault
+	at := start
+	for i := 0; i < n; i++ {
+		// Long-tailed durations: most issues are short, a minority carries
+		// the bulk of the client-time impact (the Fig. 12 skew).
+		dur := netmodel.Bucket(6 + r.Intn(7)) // 30-60 min
+		if r.Float64() < 0.25 {
+			dur = netmodel.Bucket(30 + r.Intn(60)) // 2.5-7.5 h
+		}
+		reg := netmodel.AllRegions()[r.Intn(netmodel.NumRegions)]
+		transits := w.Transits[reg]
+		as := transits[r.Intn(len(transits))]
+		scope := NoCloud
+		if r.Float64() < 0.5 {
+			regClouds := w.CloudsInRegion(reg)
+			scope = regClouds[r.Intn(len(regClouds))]
+		}
+		out = append(out, Fault{
+			Kind: MiddleASFault, AS: as, ScopeCloud: scope,
+			Start: at, Duration: dur, ExtraMS: 35 + 95*r.Float64(),
+			Desc: fmt.Sprintf("middle battery %d: %s", i, w.ASes[as].Name),
+		})
+		at += dur + gap
+	}
+	return out
+}
+
+// IncidentBattery generates n randomized single-fault scenarios with ground
+// truth, used to reproduce the paper's 88-incident validation at scale.
+// Incidents are sequential and non-overlapping (each starts `gap` buckets
+// after the previous one ends, the first at `start`), and each is long and
+// strong enough that an operator would have investigated it.
+func IncidentBattery(w *topology.World, n int, start, gap netmodel.Bucket, seed int64) []Scenario {
+	r := rand.New(rand.NewSource(seed))
+	var out []Scenario
+	at := start
+	// As in MiddleBattery, middle incidents target regional transits so
+	// every battery incident is high-impact and investigable.
+	var middles []netmodel.ASN
+	for _, reg := range netmodel.AllRegions() {
+		middles = append(middles, w.Transits[reg]...)
+	}
+	var eyeballs []netmodel.ASN
+	for _, reg := range netmodel.AllRegions() {
+		eyeballs = append(eyeballs, w.Eyeballs[reg]...)
+	}
+	for i := 0; i < n; i++ {
+		start := at
+		dur := netmodel.Bucket(6 + r.Intn(30)) // 30 min - 3 h
+		at = start + dur + gap
+		extra := 40 + 90*r.Float64()
+		var f Fault
+		switch x := r.Float64(); {
+		case x < 0.25:
+			c := w.Clouds[r.Intn(len(w.Clouds))]
+			f = Fault{Kind: CloudFault, Cloud: c.ID, ScopeCloud: NoCloud, Start: start, Duration: dur, ExtraMS: extra,
+				Desc: fmt.Sprintf("incident %d: cloud fault at %s", i, c.Name)}
+		case x < 0.60:
+			as := middles[r.Intn(len(middles))]
+			scope := NoCloud
+			if r.Float64() < 0.5 {
+				regClouds := w.CloudsInRegion(w.ASes[as].Region)
+				scope = regClouds[r.Intn(len(regClouds))]
+			}
+			f = Fault{Kind: MiddleASFault, AS: as, ScopeCloud: scope, Start: start, Duration: dur, ExtraMS: extra,
+				Desc: fmt.Sprintf("incident %d: middle fault in %s", i, w.ASes[as].Name)}
+		default:
+			as := eyeballs[r.Intn(len(eyeballs))]
+			f = Fault{Kind: ClientASFault, AS: as, ScopeCloud: NoCloud, Start: start, Duration: dur, ExtraMS: extra,
+				Desc: fmt.Sprintf("incident %d: client-AS fault in %s", i, w.ASes[as].Name)}
+		}
+		out = append(out, Scenario{
+			Name:  fmt.Sprintf("incident-%03d", i),
+			Desc:  f.Desc,
+			Fault: f,
+			Truth: f.Truth(w),
+		})
+	}
+	return out
+}

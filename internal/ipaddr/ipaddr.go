@@ -1,0 +1,132 @@
+// Package ipaddr provides the small amount of IPv4 arithmetic the
+// reproduction needs: /24 block handling, CIDR formatting/parsing, and
+// prefix containment, with addresses represented as host-order uint32s.
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// Make assembles an address from its four octets.
+func Make(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Octets splits the address into its four octets.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String renders dotted-quad notation.
+func (a Addr) String() string {
+	o1, o2, o3, o4 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o1, o2, o3, o4)
+}
+
+// Parse parses a dotted-quad IPv4 address.
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ipaddr: %q is not a dotted quad", s)
+	}
+	var a Addr
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a, nil
+}
+
+// Mask returns the network mask for a prefix length.
+func Mask(length int) Addr {
+	if length <= 0 {
+		return 0
+	}
+	if length >= 32 {
+		return 0xFFFFFFFF
+	}
+	return Addr(0xFFFFFFFF << (32 - length))
+}
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	Base Addr
+	Len  int
+}
+
+// MakePrefix builds a prefix, zeroing host bits of the base address.
+func MakePrefix(base Addr, length int) Prefix {
+	return Prefix{Base: base & Mask(length), Len: length}
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("ipaddr: %q has no prefix length", s)
+	}
+	base, err := Parse(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	length, err := strconv.Atoi(s[slash+1:])
+	if err != nil || length < 0 || length > 32 {
+		return Prefix{}, fmt.Errorf("ipaddr: bad prefix length in %q", s)
+	}
+	return MakePrefix(base, length), nil
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.Base, p.Len)
+}
+
+// Contains reports whether the address falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a&Mask(p.Len) == p.Base
+}
+
+// ContainsPrefix reports whether q is fully covered by p.
+func (p Prefix) ContainsPrefix(q Prefix) bool {
+	return q.Len >= p.Len && p.Contains(q.Base)
+}
+
+// NumAddrs returns the number of addresses in the prefix.
+func (p Prefix) NumAddrs() int {
+	return 1 << (32 - p.Len)
+}
+
+// Num24s returns the number of /24 blocks the prefix covers (zero for
+// prefixes longer than /24).
+func (p Prefix) Num24s() int {
+	if p.Len > 24 {
+		return 0
+	}
+	return 1 << (24 - p.Len)
+}
+
+// Block24 returns the /24 block containing the address.
+func Block24(a Addr) Prefix {
+	return MakePrefix(a, 24)
+}
+
+// Nth24 returns the base address of the i'th /24 inside the prefix. It
+// panics if the prefix is longer than /24 or i is out of range, which would
+// indicate a topology-generation bug.
+func (p Prefix) Nth24(i int) Addr {
+	if p.Len > 24 {
+		panic("ipaddr: Nth24 on prefix longer than /24")
+	}
+	if i < 0 || i >= p.Num24s() {
+		panic(fmt.Sprintf("ipaddr: Nth24 index %d out of range for %s", i, p))
+	}
+	return p.Base + Addr(i)<<8
+}

@@ -1,0 +1,148 @@
+package ipaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeOctetsRoundTrip(t *testing.T) {
+	a := Make(10, 20, 30, 40)
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 10 || o2 != 20 || o3 != 30 || o4 != 40 {
+		t.Fatalf("octets = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		got, err := Parse(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "-1.2.3.4", "a.b.c.d", "01.2.3.4", "1..2.3"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		len  int
+		want Addr
+	}{
+		{0, 0}, {8, 0xFF000000}, {16, 0xFFFF0000}, {24, 0xFFFFFF00}, {32, 0xFFFFFFFF},
+		{-3, 0}, {40, 0xFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Mask(c.len); got != c.want {
+			t.Errorf("Mask(%d) = %08x, want %08x", c.len, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestMakePrefixZeroesHostBits(t *testing.T) {
+	p := MakePrefix(Make(10, 1, 2, 3), 24)
+	if p.Base != Make(10, 1, 2, 0) {
+		t.Errorf("base = %s", p.Base)
+	}
+	if p.String() != "10.1.2.0/24" {
+		t.Errorf("String = %s", p)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("192.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != Make(192, 168, 0, 0) || p.Len != 16 {
+		t.Errorf("got %v", p)
+	}
+	for _, s := range []string{"1.2.3.4", "1.2.3.4/33", "1.2.3.4/-1", "1.2.3/8", "1.2.3.4/x"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	p := MakePrefix(Make(10, 0, 0, 0), 8)
+	if !p.Contains(Make(10, 255, 1, 2)) {
+		t.Error("10/8 should contain 10.255.1.2")
+	}
+	if p.Contains(Make(11, 0, 0, 0)) {
+		t.Error("10/8 should not contain 11.0.0.0")
+	}
+}
+
+func TestContainsPrefix(t *testing.T) {
+	p16 := MakePrefix(Make(10, 1, 0, 0), 16)
+	p24 := MakePrefix(Make(10, 1, 5, 0), 24)
+	if !p16.ContainsPrefix(p24) {
+		t.Error("/16 should contain nested /24")
+	}
+	if p24.ContainsPrefix(p16) {
+		t.Error("/24 must not contain covering /16")
+	}
+	if !p16.ContainsPrefix(p16) {
+		t.Error("prefix should contain itself")
+	}
+}
+
+func TestNumAddrsAndNum24s(t *testing.T) {
+	p := MakePrefix(Make(10, 0, 0, 0), 22)
+	if p.NumAddrs() != 1024 {
+		t.Errorf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.Num24s() != 4 {
+		t.Errorf("Num24s = %d", p.Num24s())
+	}
+	if MakePrefix(0, 25).Num24s() != 0 {
+		t.Error("/25 should cover zero /24s")
+	}
+}
+
+func TestNth24(t *testing.T) {
+	p := MakePrefix(Make(10, 0, 0, 0), 22)
+	if got := p.Nth24(3); got != Make(10, 0, 3, 0) {
+		t.Errorf("Nth24(3) = %s", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Nth24 out of range must panic")
+		}
+	}()
+	p.Nth24(4)
+}
+
+func TestBlock24(t *testing.T) {
+	b := Block24(Make(172, 16, 5, 77))
+	if b.Base != Make(172, 16, 5, 0) || b.Len != 24 {
+		t.Errorf("Block24 = %v", b)
+	}
+}
+
+func TestContainmentProperty(t *testing.T) {
+	// Every /24 enumerated by Nth24 is contained in its parent.
+	f := func(v uint32, lenSeed uint8) bool {
+		length := 8 + int(lenSeed)%17 // /8../24
+		p := MakePrefix(Addr(v), length)
+		for i := 0; i < p.Num24s(); i += 1 + p.Num24s()/8 {
+			if !p.ContainsPrefix(MakePrefix(p.Nth24(i), 24)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

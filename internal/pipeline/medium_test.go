@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// TestMediumScaleIntegration runs one full pipeline day on the
+// medium-scale world (thousands of /24s, 21 locations) with a mixed fault
+// workload, checking that the system behaves at experiment scale: verdicts
+// in every category, cloud blame staying rare, budget respected, and a
+// known injected cloud fault localized.
+func TestMediumScaleIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration in -short mode")
+	}
+	w := topology.Generate(topology.MediumScale(), 7)
+	horizon := netmodel.Bucket(2 * netmodel.BucketsPerDay)
+	fs := faults.Generate(w, faults.DefaultGenerateConfig(), horizon, 8).Faults
+	// One marker fault we grade explicitly.
+	marker := faults.Fault{
+		Kind: faults.CloudFault, Cloud: w.CloudsInRegion(netmodel.RegionIndia)[0], ScopeCloud: faults.NoCloud,
+		Start: netmodel.BucketsPerDay + 6*netmodel.BucketsPerHour, Duration: 12, ExtraMS: 80,
+	}
+	fs = append(fs, marker)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 9)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(10))
+	p := New(s, DefaultConfig())
+	p.Warmup(0, netmodel.BucketsPerDay)
+
+	totals := make(map[core.Blame]int)
+	markerVotes := make(map[core.Blame]int)
+	p.Run(netmodel.BucketsPerDay, horizon, func(rep *Report) {
+		for _, r := range rep.Results {
+			totals[r.Blame]++
+			if r.Q.Obs.Cloud == marker.Cloud && r.Q.Obs.Bucket >= marker.Start+2 && r.Q.Obs.Bucket < marker.End() {
+				markerVotes[r.Blame]++
+			}
+		}
+	})
+
+	grand := 0
+	for _, n := range totals {
+		grand += n
+	}
+	if grand == 0 {
+		t.Fatal("no verdicts at medium scale")
+	}
+	for _, cat := range []core.Blame{core.BlameCloud, core.BlameMiddle, core.BlameClient} {
+		if totals[cat] == 0 {
+			t.Errorf("no %v verdicts at medium scale", cat)
+		}
+	}
+	// Cloud blame stays a modest share of all verdicts even though the
+	// marker fault floods one location's window with cloud blame.
+	if frac := float64(totals[core.BlameCloud]) / float64(grand); frac > 0.3 {
+		t.Errorf("cloud fraction = %.2f, too high", frac)
+	}
+	// The marker fault's window must be dominated by cloud blame.
+	if markerVotes[core.BlameCloud] == 0 {
+		t.Fatal("marker cloud fault never blamed on the cloud")
+	}
+	best, bestN := core.BlameNone, 0
+	for cat, n := range markerVotes {
+		if n > bestN {
+			best, bestN = cat, n
+		}
+	}
+	if best != core.BlameCloud {
+		t.Errorf("marker fault majority verdict = %v (%v)", best, markerVotes)
+	}
+	// Budget: on-demand probes per cloud per day within the configured cap.
+	for _, c := range w.Clouds {
+		if used := p.Budget.Used(c.ID, 1); used > p.Cfg.BudgetPerCloudPerDay {
+			t.Errorf("cloud %d used %d probes, budget %d", c.ID, used, p.Cfg.BudgetPerCloudPerDay)
+		}
+	}
+}

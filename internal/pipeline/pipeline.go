@@ -1,0 +1,275 @@
+// Package pipeline wires every BlameIt component into the production
+// workflow of Fig. 7: passive RTT collection at the cloud locations, the
+// periodic Algorithm 1 job at the analytics cluster, middle-issue
+// prioritization with budgeted on-demand traceroutes, background baseline
+// maintenance, and impact-ranked operator alerts.
+package pipeline
+
+import (
+	"math/rand"
+
+	"blameit/internal/active"
+	"blameit/internal/alerting"
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/predict"
+	"blameit/internal/probe"
+	"blameit/internal/quartet"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// Config assembles the tunables of every stage.
+type Config struct {
+	Core       core.Config
+	Background probe.BackgroundConfig
+	// BudgetPerCloudPerDay caps on-demand traceroutes per location (0 =
+	// unlimited).
+	BudgetPerCloudPerDay int
+	// RunEvery is the cadence of the Algorithm 1 job in buckets (3 = every
+	// 15 minutes, as in production).
+	RunEvery int
+	// TopNAlerts bounds the tickets emitted per job run (0 = unlimited).
+	TopNAlerts int
+	// ProbeNoiseMS is the traceroute engine's per-hop noise.
+	ProbeNoiseMS float64
+	// WarmupSampleEvery subsamples warmup buckets when learning expected
+	// RTTs (1 = every bucket).
+	WarmupSampleEvery int
+}
+
+// DefaultConfig returns the production-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		Core:                 core.DefaultConfig(),
+		Background:           probe.DefaultBackgroundConfig(),
+		BudgetPerCloudPerDay: 50,
+		RunEvery:             3,
+		TopNAlerts:           10,
+		ProbeNoiseMS:         0.5,
+		WarmupSampleEvery:    4,
+	}
+}
+
+// Report is the output of one Algorithm 1 job run.
+type Report struct {
+	// From and To delimit the window's buckets: [From, To].
+	From, To netmodel.Bucket
+	// Results are per-quartet verdicts across the window.
+	Results []core.Result
+	// Verdicts are the active phase's AS-level localizations.
+	Verdicts []active.Verdict
+	// Tickets are the impact-ranked operator alerts.
+	Tickets []alerting.Ticket
+}
+
+// Pipeline is the assembled system.
+type Pipeline struct {
+	World *topology.World
+	Table *bgp.Table
+	Sim   *sim.Simulator
+	Cfg   Config
+
+	Engine     *probe.Engine
+	Baseliner  *probe.Baseliner
+	Budget     *probe.Budget
+	Learner    *core.Learner
+	Thresholds *core.Thresholds
+	Passive    *core.Localizer
+	Active     *active.Localizer
+	Durations  *predict.DurationPredictor
+	Clients    *predict.ClientPredictor
+	Alerter    *alerting.Alerter
+
+	// Persistence trackers.
+	QuartetTracker *quartet.Tracker
+	MiddleTracker  *active.Tracker
+
+	// keyFunc is the optional middle-grouping override.
+	keyFunc core.MiddleKeyFunc
+
+	// lastRelearnDay tracks the daily expected-RTT refresh (production
+	// recomputes the trailing 14-day medians continuously).
+	lastRelearnDay int
+
+	// window accumulates classified quartets between job runs.
+	window []quartet.Quartet
+	obsBuf []sim.Observation
+}
+
+// New assembles a pipeline over an existing simulator.
+func New(s *sim.Simulator, cfg Config) *Pipeline {
+	if cfg.RunEvery < 1 {
+		cfg.RunEvery = 1
+	}
+	if cfg.WarmupSampleEvery < 1 {
+		cfg.WarmupSampleEvery = 1
+	}
+	p := &Pipeline{
+		World:     s.World,
+		Table:     s.Routes,
+		Sim:       s,
+		Cfg:       cfg,
+		Engine:    probe.NewEngine(s, cfg.ProbeNoiseMS),
+		Learner:   core.NewLearner(),
+		Durations: predict.NewDurationPredictor(3),
+		Clients:   predict.NewClientPredictor(),
+		Alerter:   alerting.NewAlerter(cfg.TopNAlerts),
+	}
+	// Seed the duration predictor with the long-tailed historical prior
+	// (§2.3): production learns P(T|t) from months of fault history, which
+	// a fresh simulation does not have yet.
+	prior := rand.New(rand.NewSource(9001))
+	for i := 0; i < 400; i++ {
+		p.Durations.Record("", int(faults.SampleDuration(prior)))
+	}
+	p.Baseliner = probe.NewBaseliner(cfg.Background, p.Engine, p.Table)
+	p.Budget = probe.NewBudget(cfg.BudgetPerCloudPerDay)
+	p.Active = active.NewLocalizer(p.Engine, p.Baseliner, p.Budget, p.Durations, p.Clients)
+	p.QuartetTracker = quartet.NewTracker()
+	p.MiddleTracker = active.NewTrackerWithStep(p.Durations, cfg.RunEvery)
+	return p
+}
+
+// PathOf resolves a quartet's route from the BGP table.
+func (p *Pipeline) PathOf(pid netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) netmodel.Path {
+	return p.Table.PathAtForPrefix(c, pid, b)
+}
+
+// Warmup learns expected RTTs (and primes the client predictor) from the
+// buckets in [from, to), sampling every WarmupSampleEvery'th bucket. Call
+// it before Run; production learns over a trailing 14-day window.
+func (p *Pipeline) Warmup(from, to netmodel.Bucket) {
+	for b := from; b < to; b += netmodel.Bucket(p.Cfg.WarmupSampleEvery) {
+		p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
+		for _, o := range p.obsBuf {
+			if o.Samples < quartet.MinSamples {
+				continue
+			}
+			mk := p.PathOf(o.Prefix, o.Cloud, o.Bucket).Key()
+			p.Learner.AddObservation(o.Cloud, mk, o.Device, o.MeanRTT)
+			p.Clients.Record(mk, o.Bucket, o.Clients)
+		}
+	}
+	p.Thresholds = p.Learner.Snapshot()
+	p.rebuildPassive()
+}
+
+// SetThresholds installs externally learned thresholds (tests, ablations).
+func (p *Pipeline) SetThresholds(th *core.Thresholds) {
+	p.Thresholds = th
+	p.rebuildPassive()
+}
+
+func (p *Pipeline) rebuildPassive() {
+	p.Passive = core.NewLocalizer(p.Cfg.Core, p.World.CloudASN, p.PathOf, p.Thresholds)
+	if p.keyFunc != nil {
+		p.Passive.SetMiddleKeyFunc(p.keyFunc)
+	}
+}
+
+// SetMiddleKeyFunc overrides the passive phase's middle grouping (the
+// ⟨AS, Metro⟩ baseline).
+func (p *Pipeline) SetMiddleKeyFunc(f core.MiddleKeyFunc) {
+	p.keyFunc = f
+	if p.Passive == nil {
+		p.rebuildPassive()
+	}
+	p.Passive.SetMiddleKeyFunc(f)
+}
+
+// Step advances the pipeline by one bucket: collects the bucket's passive
+// observations, classifies quartets, advances the persistence trackers,
+// runs background probing, and — on job-cadence boundaries — runs
+// Algorithm 1 plus the active phase and returns a Report. Between job runs
+// it returns nil.
+func (p *Pipeline) Step(b netmodel.Bucket) *Report {
+	if p.Passive == nil {
+		p.rebuildPassive()
+	}
+	// Passive collection and classification.
+	p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
+	feedLearner := int(b)%p.Cfg.WarmupSampleEvery == 0
+	var badKeys []quartet.Key
+	for _, o := range p.obsBuf {
+		q := quartet.Classify(o, p.World.TargetFor(o.Prefix, o.Cloud))
+		p.window = append(p.window, q)
+		if q.Enough && q.Bad {
+			badKeys = append(badKeys, quartet.KeyOf(o))
+		}
+		if q.Enough {
+			mk := p.PathOf(o.Prefix, o.Cloud, b).Key()
+			// Feed the client predictor continuously with normal traffic,
+			// and keep the expected-RTT learner current (subsampled).
+			p.Clients.Record(mk, b, o.Clients)
+			if feedLearner {
+				p.Learner.AddObservation(o.Cloud, mk, o.Device, o.MeanRTT)
+			}
+		}
+	}
+	// Refresh the learned medians at day boundaries, as the production
+	// trailing-window job does.
+	if day := b.Day(); day > p.lastRelearnDay {
+		p.lastRelearnDay = day
+		p.Thresholds = p.Learner.Snapshot()
+		p.rebuildPassive()
+	}
+	p.QuartetTracker.Advance(b, badKeys)
+	// Background baselines advance every bucket.
+	p.Baseliner.Advance(b)
+
+	if (int(b)+1)%p.Cfg.RunEvery != 0 {
+		return nil
+	}
+	return p.runJob(b)
+}
+
+// runJob executes the Algorithm 1 job over the accumulated window.
+func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
+	rep := &Report{From: b - netmodel.Bucket(p.Cfg.RunEvery) + 1, To: b}
+	// Localize each bucket of the window separately so aggregates stay
+	// time-consistent.
+	byBucket := make(map[netmodel.Bucket][]quartet.Quartet)
+	for _, q := range p.window {
+		byBucket[q.Obs.Bucket] = append(byBucket[q.Obs.Bucket], q)
+	}
+	for wb := rep.From; wb <= rep.To; wb++ {
+		qs := byBucket[wb]
+		if len(qs) == 0 {
+			continue
+		}
+		rep.Results = append(rep.Results, p.Passive.Localize(qs)...)
+	}
+	p.window = p.window[:0]
+
+	// Track middle-issue persistence at job granularity and run the active
+	// phase for the window's middle verdicts.
+	badMiddles := active.MiddleKeysOfBy(rep.Results, p.keyFunc)
+	p.MiddleTracker.Advance(b, badMiddles)
+	// Pause background refreshes on paths with an ongoing middle issue so
+	// the pre-fault baseline survives for the traceroute comparison. The
+	// true path keys are used (the grouping override may be coarser).
+	p.Baseliner.Suppress(active.MiddleKeysOf(rep.Results), b+netmodel.Bucket(2*p.Cfg.RunEvery))
+	issues := active.GroupIssuesBy(rep.Results, b, p.keyFunc)
+	rep.Verdicts = p.Active.ProcessIssues(b, issues, p.MiddleTracker)
+	rep.Tickets = p.Alerter.Generate(b, rep.Results, rep.Verdicts)
+	return rep
+}
+
+// Run drives the pipeline over [from, to), invoking cb for every completed
+// job run. cb may be nil.
+func (p *Pipeline) Run(from, to netmodel.Bucket, cb func(*Report)) {
+	for b := from; b < to; b++ {
+		if rep := p.Step(b); rep != nil && cb != nil {
+			cb(rep)
+		}
+	}
+}
+
+// Flush closes open incident runs at the end of a simulation.
+func (p *Pipeline) Flush() []quartet.Incident {
+	p.MiddleTracker.Flush()
+	return p.QuartetTracker.Flush()
+}

@@ -1,0 +1,258 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/core"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// buildPipeline builds a small-world pipeline with the given faults. The
+// fault-free warmup day precedes bucket `dayStart`, where faults may begin.
+func buildPipeline(t testing.TB, fs []faults.Fault, days int, cfg Config) *Pipeline {
+	t.Helper()
+	w := topology.Generate(topology.SmallScale(), 42)
+	horizon := netmodel.Bucket((days + 1) * netmodel.BucketsPerDay)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 7)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
+	p := New(s, cfg)
+	p.Warmup(0, netmodel.BucketsPerDay) // day 0 is the learning window
+	return p
+}
+
+// dayStart is the first bucket after the warmup day.
+const dayStart = netmodel.Bucket(netmodel.BucketsPerDay)
+
+func TestWarmupLearnsThresholds(t *testing.T) {
+	p := buildPipeline(t, nil, 1, DefaultConfig())
+	if p.Thresholds == nil {
+		t.Fatal("no thresholds learned")
+	}
+	if p.Thresholds.NumCloudEntries() == 0 || p.Thresholds.NumMiddleEntries() == 0 {
+		t.Fatal("warmup learned nothing")
+	}
+	// Learned cloud medians must sit near typical base RTTs, far below the
+	// badness targets for most locations.
+	below := 0
+	total := 0
+	for _, c := range p.World.Clouds {
+		exp, ok := p.Thresholds.CloudExpected(c.ID, netmodel.NonMobile)
+		if !ok {
+			continue
+		}
+		total++
+		if exp < p.World.Target(c.Region, netmodel.NonMobile) {
+			below++
+		}
+	}
+	if total == 0 || below*3 < total*2 {
+		t.Errorf("only %d/%d cloud expected-RTTs below targets", below, total)
+	}
+}
+
+func TestStepCadence(t *testing.T) {
+	p := buildPipeline(t, nil, 1, DefaultConfig())
+	reports := 0
+	for b := dayStart; b < dayStart+12; b++ {
+		if rep := p.Step(b); rep != nil {
+			reports++
+			if rep.To != b {
+				t.Errorf("report window end = %d, want %d", rep.To, b)
+			}
+		}
+	}
+	if reports != 4 { // every 3rd bucket
+		t.Errorf("reports = %d, want 4", reports)
+	}
+}
+
+func TestCloudFaultBlamedEndToEnd(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c := w.CloudsInRegion(netmodel.RegionEurope)[0]
+	f := faults.Fault{
+		Kind: faults.CloudFault, Cloud: c, ScopeCloud: faults.NoCloud,
+		Start: dayStart + 6*netmodel.BucketsPerHour, Duration: 12, ExtraMS: 70,
+	}
+	cfg := DefaultConfig()
+	p := buildPipeline(t, []faults.Fault{f}, 2, cfg)
+
+	var blames []core.Blame
+	p.Run(f.Start, f.End(), func(rep *Report) {
+		for _, r := range rep.Results {
+			if r.Q.Obs.Cloud == c {
+				blames = append(blames, r.Blame)
+			}
+		}
+	})
+	if len(blames) == 0 {
+		t.Fatal("no verdicts for the faulty cloud")
+	}
+	cloud := 0
+	for _, b := range blames {
+		if b == core.BlameCloud {
+			cloud++
+		}
+	}
+	if cloud*10 < len(blames)*8 {
+		t.Errorf("only %d/%d verdicts blamed the cloud", cloud, len(blames))
+	}
+}
+
+func TestClientFaultBlamedEndToEnd(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	as := w.Eyeballs[netmodel.RegionUSA][1]
+	f := faults.Fault{
+		Kind: faults.ClientASFault, AS: as, ScopeCloud: faults.NoCloud,
+		Start: dayStart + 4*netmodel.BucketsPerHour, Duration: 12, ExtraMS: 120,
+	}
+	p := buildPipeline(t, []faults.Fault{f}, 2, DefaultConfig())
+
+	var hits, misses int
+	p.Run(f.Start, f.End(), func(rep *Report) {
+		for _, r := range rep.Results {
+			if p.World.Prefixes[r.Q.Obs.Prefix].AS != as {
+				continue
+			}
+			if r.Blame == core.BlameClient && r.BlamedAS == as {
+				hits++
+			} else if r.Blame == core.BlameCloud || r.Blame == core.BlameMiddle {
+				misses++
+			}
+		}
+	})
+	if hits == 0 {
+		t.Fatal("client fault never blamed on the client")
+	}
+	// Grade by majority, as an investigation would: in the small world a
+	// single client AS can own a large share of its provider's middle
+	// aggregate, so some windows tip the middle check; at production scale
+	// (thousands of /24s per BGP path) the 80% gate makes that impossible.
+	if misses >= hits {
+		t.Errorf("client fault misblamed %d times vs %d hits", misses, hits)
+	}
+}
+
+func TestMiddleFaultLocalizedEndToEnd(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	// A regional transit sits on many primary paths; tier-1s only carry
+	// the rare cross-region attachments in the small world.
+	as := w.Transits[netmodel.RegionEurope][0]
+	f := faults.Fault{
+		Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud,
+		// One full day after warmup so the 12-hourly background prober has
+		// established baselines for every path.
+		Start: dayStart + netmodel.BucketsPerDay, Duration: 18, ExtraMS: 90,
+	}
+	cfg := DefaultConfig()
+	cfg.BudgetPerCloudPerDay = 0 // unlimited for this test
+	p := buildPipeline(t, []faults.Fault{f}, 3, cfg)
+
+	// Establish baselines for a day before the fault.
+	p.Run(dayStart, f.Start, nil)
+
+	middleSeen, correct, comparable := 0, 0, 0
+	p.Run(f.Start, f.End(), func(rep *Report) {
+		for _, v := range rep.Verdicts {
+			// Grade only issues whose path traverses the faulty AS; small
+			// aggregates occasionally flag unrelated paths, whose correct
+			// culprit is some other segment.
+			onPath := false
+			for _, m := range v.Issue.Path.Middle {
+				if m == as {
+					onPath = true
+				}
+			}
+			if !onPath {
+				continue
+			}
+			middleSeen++
+			if v.Probed && v.OK {
+				comparable++
+				if v.AS == as {
+					correct++
+				}
+			}
+		}
+	})
+	if middleSeen == 0 {
+		t.Fatal("no middle issues surfaced")
+	}
+	if comparable == 0 {
+		t.Fatal("no comparable verdicts")
+	}
+	if correct*10 < comparable*8 {
+		t.Errorf("active phase named the right AS in %d/%d comparable verdicts", correct, comparable)
+	}
+}
+
+func TestTicketsEmittedForFault(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c := w.CloudsInRegion(netmodel.RegionIndia)[0]
+	f := faults.Fault{
+		Kind: faults.CloudFault, Cloud: c, ScopeCloud: faults.NoCloud,
+		Start: dayStart + 2*netmodel.BucketsPerHour, Duration: 6, ExtraMS: 80,
+	}
+	p := buildPipeline(t, []faults.Fault{f}, 2, DefaultConfig())
+	sawCloudTicket := false
+	p.Run(f.Start, f.End(), func(rep *Report) {
+		for _, tk := range rep.Tickets {
+			if tk.Category == core.BlameCloud && tk.Cloud == c {
+				sawCloudTicket = true
+			}
+		}
+	})
+	if !sawCloudTicket {
+		t.Error("no cloud ticket emitted during the fault")
+	}
+}
+
+func TestBudgetLimitsOnDemandProbes(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	as := w.Transits[netmodel.RegionUSA][0]
+	f := faults.Fault{
+		Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud,
+		Start: dayStart, Duration: 36, ExtraMS: 90,
+	}
+	cfg := DefaultConfig()
+	cfg.BudgetPerCloudPerDay = 1
+	p := buildPipeline(t, []faults.Fault{f}, 2, cfg)
+	p.Run(dayStart, dayStart+36, nil)
+	// With budget 1/cloud/day, on-demand probes cannot exceed cloud count.
+	if got := p.Engine.Counters().Count(probe.OnDemand); got > int64(len(p.World.Clouds)) {
+		t.Errorf("on-demand probes = %d exceed budget", got)
+	}
+}
+
+func TestFlushClosesIncidents(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c := w.Clouds[0].ID
+	f := faults.Fault{Kind: faults.CloudFault, Cloud: c, ScopeCloud: faults.NoCloud, Start: dayStart, Duration: 6, ExtraMS: 80}
+	p := buildPipeline(t, []faults.Fault{f}, 2, DefaultConfig())
+	p.Run(dayStart, dayStart+6, nil)
+	incs := p.Flush()
+	if len(incs) == 0 {
+		t.Error("no incidents tracked")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() int {
+		w := topology.Generate(topology.SmallScale(), 42)
+		f := faults.Fault{Kind: faults.CloudFault, Cloud: w.Clouds[0].ID, ScopeCloud: faults.NoCloud, Start: dayStart, Duration: 6, ExtraMS: 80}
+		tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), 3*netmodel.BucketsPerDay, 7)
+		s := sim.New(w, tbl, faults.NewSchedule([]faults.Fault{f}), sim.DefaultConfig(99))
+		p := New(s, DefaultConfig())
+		p.Warmup(0, netmodel.BucketsPerDay)
+		total := 0
+		p.Run(dayStart, dayStart+6, func(rep *Report) { total += len(rep.Results) })
+		return total
+	}
+	if run() != run() {
+		t.Error("pipeline runs are not deterministic")
+	}
+}

@@ -1,0 +1,202 @@
+package probe
+
+import (
+	"blameit/internal/bgp"
+	"blameit/internal/netmodel"
+)
+
+// BackgroundConfig controls the baseline-maintenance strategy of §5.4.
+type BackgroundConfig struct {
+	// PeriodBuckets is the interval between periodic baseline traceroutes
+	// per (cloud, BGP path). The paper's sweet spot is twice a day
+	// (144 buckets = 12 hours).
+	PeriodBuckets netmodel.Bucket
+	// OnChurn additionally triggers a traceroute whenever the BGP listener
+	// reports a path change or withdrawal for an entry.
+	OnChurn bool
+	// ChurnDedupeBuckets skips a churn-triggered probe when the new path
+	// already has a baseline younger than this, keeping churn overhead
+	// modest (0 disables deduplication).
+	ChurnDedupeBuckets netmodel.Bucket
+}
+
+// DefaultBackgroundConfig is the production sweet spot: 12-hourly probes
+// plus churn triggers (§6.5, Fig. 13).
+func DefaultBackgroundConfig() BackgroundConfig {
+	return BackgroundConfig{
+		PeriodBuckets:      12 * netmodel.BucketsPerHour,
+		OnChurn:            true,
+		ChurnDedupeBuckets: 12 * netmodel.BucketsPerHour,
+	}
+}
+
+// historyLen bounds the per-path baseline history. The active phase needs
+// a baseline that predates an ongoing issue; a short ring suffices because
+// issues are detected within one job period of starting.
+const historyLen = 8
+
+// Baseliner maintains baseline traceroutes for every (cloud, BGP path),
+// refreshed periodically and on BGP churn. Drive it forward one bucket at
+// a time with Advance.
+type Baseliner struct {
+	cfg      BackgroundConfig
+	engine   *Engine
+	table    *bgp.Table
+	listener *bgp.Listener
+
+	// reps maps each known middle key to a representative client prefix to
+	// probe, and its cloud location.
+	reps map[netmodel.MiddleKey]repTarget
+	// baselines holds the recent traceroutes per middle key, oldest first.
+	baselines map[netmodel.MiddleKey][]Traceroute
+	// suppressed pauses periodic refreshes for paths with an ongoing
+	// latency issue, so the "normal picture" is not overwritten by
+	// incident measurements.
+	suppressed map[netmodel.MiddleKey]netmodel.Bucket
+}
+
+type repTarget struct {
+	cloud  netmodel.CloudID
+	prefix netmodel.PrefixID
+}
+
+// NewBaseliner builds the manager and registers every (cloud, BGP path)
+// pair present in the routing table at bucket 0. No probes are issued yet;
+// the first Advance cycle establishes baselines.
+func NewBaseliner(cfg BackgroundConfig, engine *Engine, table *bgp.Table) *Baseliner {
+	bg := &Baseliner{
+		cfg:        cfg,
+		engine:     engine,
+		table:      table,
+		listener:   bgp.NewListener(table),
+		reps:       make(map[netmodel.MiddleKey]repTarget),
+		baselines:  make(map[netmodel.MiddleKey][]Traceroute),
+		suppressed: make(map[netmodel.MiddleKey]netmodel.Bucket),
+	}
+	w := engine.Sim.World
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			path := table.PathAt(c.ID, bp.ID, 0)
+			mk := path.Key()
+			if _, ok := bg.reps[mk]; !ok {
+				kids := w.PrefixesOfBGP(bp.ID)
+				bg.reps[mk] = repTarget{cloud: c.ID, prefix: kids[0]}
+			}
+		}
+	}
+	return bg
+}
+
+// NumPaths returns the number of distinct (cloud, BGP path) baselines
+// being maintained.
+func (bg *Baseliner) NumPaths() int { return len(bg.reps) }
+
+// offset staggers periodic probes across the period so they do not all
+// fire in one bucket.
+func offset(mk netmodel.MiddleKey, period netmodel.Bucket) netmodel.Bucket {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(mk); i++ {
+		h ^= uint64(mk[i])
+		h *= 1099511628211
+	}
+	return netmodel.Bucket(h % uint64(period))
+}
+
+// store appends a baseline to the key's history ring.
+func (bg *Baseliner) store(tr Traceroute) {
+	mk := tr.Path.Key()
+	h := append(bg.baselines[mk], tr)
+	if len(h) > historyLen {
+		h = h[len(h)-historyLen:]
+	}
+	bg.baselines[mk] = h
+}
+
+// Suppress pauses periodic refreshes of the given paths until the given
+// bucket. The pipeline calls this for paths with ongoing middle issues so
+// incident measurements never overwrite the pre-fault picture.
+func (bg *Baseliner) Suppress(keys []netmodel.MiddleKey, until netmodel.Bucket) {
+	for _, mk := range keys {
+		if bg.suppressed[mk] < until {
+			bg.suppressed[mk] = until
+		}
+	}
+}
+
+// Advance runs the background prober for bucket b: issues the periodic
+// probes scheduled for this bucket and, if configured, probes entries the
+// BGP listener reports as changed.
+func (bg *Baseliner) Advance(b netmodel.Bucket) {
+	// Periodic refresh, staggered per path; suppressed paths keep their
+	// pre-incident picture.
+	if bg.cfg.PeriodBuckets > 0 {
+		for mk, rep := range bg.reps {
+			if b%bg.cfg.PeriodBuckets != offset(mk, bg.cfg.PeriodBuckets) {
+				continue
+			}
+			if until, ok := bg.suppressed[mk]; ok && b < until {
+				continue
+			}
+			tr := bg.engine.Traceroute(rep.cloud, rep.prefix, b, Background)
+			bg.store(tr)
+		}
+	}
+	// Churn triggers: probe the affected client prefix from the affected
+	// cloud, which establishes a baseline for the new path. Events whose
+	// new path already has a fresh baseline are deduplicated.
+	events := bg.listener.Poll(b + 1)
+	if bg.cfg.OnChurn {
+		for _, ev := range events {
+			nk := ev.NewPath.Key()
+			if bg.cfg.ChurnDedupeBuckets > 0 {
+				if age, ok := bg.BaselineAge(nk, b); ok && age <= bg.cfg.ChurnDedupeBuckets {
+					continue
+				}
+			}
+			w := bg.engine.Sim.World
+			kids := w.PrefixesOfBGP(ev.BGPPrefix)
+			tr := bg.engine.Traceroute(ev.Cloud, kids[0], b, ChurnTriggered)
+			bg.store(tr)
+			// Churn-discovered paths are NOT added to the periodic set:
+			// periodic traceroutes to the registered representatives follow
+			// whatever route is current and refresh the right key, so the
+			// periodic volume stays at two probes per path per day.
+		}
+	}
+}
+
+// Baseline returns the latest baseline traceroute for a middle key.
+func (bg *Baseliner) Baseline(mk netmodel.MiddleKey) (Traceroute, bool) {
+	h := bg.baselines[mk]
+	if len(h) == 0 {
+		return Traceroute{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// BaselineBefore returns the most recent baseline taken at or before the
+// cutoff bucket — the "picture prior to the fault" the §5.2 comparison
+// needs. It falls back to the oldest retained baseline when every retained
+// entry postdates the cutoff.
+func (bg *Baseliner) BaselineBefore(mk netmodel.MiddleKey, cutoff netmodel.Bucket) (Traceroute, bool) {
+	h := bg.baselines[mk]
+	if len(h) == 0 {
+		return Traceroute{}, false
+	}
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Bucket <= cutoff {
+			return h[i], true
+		}
+	}
+	return h[0], true
+}
+
+// BaselineAge returns how stale the latest baseline of a middle key is at
+// bucket b, and whether one exists.
+func (bg *Baseliner) BaselineAge(mk netmodel.MiddleKey, b netmodel.Bucket) (netmodel.Bucket, bool) {
+	tr, ok := bg.Baseline(mk)
+	if !ok {
+		return 0, false
+	}
+	return b - tr.Bucket, true
+}

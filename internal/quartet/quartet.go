@@ -1,0 +1,169 @@
+// Package quartet implements the paper's unit of passive analysis: the
+// "quartet" ⟨client /24, cloud location, device class, 5-minute bucket⟩
+// (§2.1). It classifies quartets as good or bad against region-specific
+// RTT targets, enforces the minimum-sample gate, and tracks the
+// persistence of badness across consecutive buckets (§2.3).
+package quartet
+
+import (
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// MinSamples is the minimum RTT sample count the paper requires before a
+// quartet's average is trusted.
+const MinSamples = 10
+
+// Key identifies the spatial part of a quartet: the tuple whose badness is
+// tracked across time buckets.
+type Key struct {
+	Prefix netmodel.PrefixID
+	Cloud  netmodel.CloudID
+	Device netmodel.DeviceClass
+}
+
+// KeyOf extracts the tracking key of an observation.
+func KeyOf(o trace.Observation) Key {
+	return Key{Prefix: o.Prefix, Cloud: o.Cloud, Device: o.Device}
+}
+
+// Quartet is a classified observation.
+type Quartet struct {
+	Obs trace.Observation
+	// Target is the badness threshold that applied (region- and
+	// device-specific).
+	Target float64
+	// Enough reports whether the quartet met the MinSamples gate.
+	Enough bool
+	// Bad reports whether the average RTT breached the target (only
+	// meaningful when Enough).
+	Bad bool
+}
+
+// TargetFunc supplies the badness threshold for a prefix (the world's
+// region/device targets in production use).
+type TargetFunc func(p netmodel.PrefixID) float64
+
+// Classify applies the badness test to one observation.
+func Classify(o trace.Observation, target float64) Quartet {
+	q := Quartet{Obs: o, Target: target}
+	q.Enough = o.Samples >= MinSamples
+	if q.Enough {
+		q.Bad = o.MeanRTT >= target
+	}
+	return q
+}
+
+// ClassifyAll classifies a batch of observations.
+func ClassifyAll(obs []trace.Observation, target TargetFunc) []Quartet {
+	out := make([]Quartet, len(obs))
+	for i, o := range obs {
+		out[i] = Classify(o, target(o.Prefix))
+	}
+	return out
+}
+
+// BadFraction returns the fraction of sufficiently-sampled quartets that
+// are bad, and the number of quartets that passed the sample gate.
+func BadFraction(qs []Quartet) (float64, int) {
+	var bad, enough int
+	for _, q := range qs {
+		if !q.Enough {
+			continue
+		}
+		enough++
+		if q.Bad {
+			bad++
+		}
+	}
+	if enough == 0 {
+		return 0, 0
+	}
+	return float64(bad) / float64(enough), enough
+}
+
+// Incident is a maximal run of consecutive bad buckets for one key.
+type Incident struct {
+	Key   Key
+	Start netmodel.Bucket
+	// Buckets is the run length in 5-minute buckets.
+	Buckets int
+}
+
+// End returns the first bucket after the incident.
+func (i Incident) End() netmodel.Bucket { return i.Start + netmodel.Bucket(i.Buckets) }
+
+// Tracker measures badness persistence: how many consecutive 5-minute
+// buckets each ⟨prefix, cloud, device⟩ tuple stays bad (§2.3). Feed it one
+// bucket at a time via Advance.
+type Tracker struct {
+	open   map[Key]Incident
+	closed []Incident
+	last   netmodel.Bucket
+	primed bool
+}
+
+// NewTracker creates an empty persistence tracker.
+func NewTracker() *Tracker {
+	return &Tracker{open: make(map[Key]Incident)}
+}
+
+// Advance records the set of bad keys of bucket b. Buckets must be fed in
+// strictly increasing order; skipped buckets terminate all open runs.
+func (t *Tracker) Advance(b netmodel.Bucket, bad []Key) {
+	if t.primed && b <= t.last {
+		panic("quartet: Tracker.Advance called with non-increasing bucket")
+	}
+	gap := t.primed && b != t.last+1
+	badSet := make(map[Key]bool, len(bad))
+	for _, k := range bad {
+		badSet[k] = true
+	}
+	// Close runs that did not continue.
+	for k, inc := range t.open {
+		if gap || !badSet[k] {
+			t.closed = append(t.closed, inc)
+			delete(t.open, k)
+		}
+	}
+	// Extend or open runs.
+	for _, k := range bad {
+		if inc, ok := t.open[k]; ok {
+			inc.Buckets++
+			t.open[k] = inc
+		} else {
+			t.open[k] = Incident{Key: k, Start: b, Buckets: 1}
+		}
+	}
+	t.last = b
+	t.primed = true
+}
+
+// Flush closes all open runs (end of simulation) and returns every closed
+// incident.
+func (t *Tracker) Flush() []Incident {
+	for k, inc := range t.open {
+		t.closed = append(t.closed, inc)
+		delete(t.open, k)
+	}
+	return t.closed
+}
+
+// Closed returns incidents that have already terminated.
+func (t *Tracker) Closed() []Incident { return t.closed }
+
+// OpenRun returns the length (in buckets) of the key's current bad run,
+// zero if the key is currently good. This feeds the duration predictor's
+// "has lasted t so far" input.
+func (t *Tracker) OpenRun(k Key) int {
+	return t.open[k].Buckets
+}
+
+// Durations extracts the run lengths of a set of incidents, in buckets.
+func Durations(incs []Incident) []float64 {
+	out := make([]float64, len(incs))
+	for i, inc := range incs {
+		out[i] = float64(inc.Buckets)
+	}
+	return out
+}

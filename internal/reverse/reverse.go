@@ -1,0 +1,198 @@
+// Package reverse implements the §5.1 future-work extension of the paper:
+// client-issued reverse traceroutes. Internet routing is asymmetric, and a
+// congestion event that exists only on the client→cloud direction inflates
+// handshake RTTs while remaining invisible to the per-AS diff of
+// cloud-issued forward traceroutes (the reply inflation is flat across
+// hops and masquerades as a first-hop increase). The paper notes Azure
+// "already has many users with rich clients that can be coordinated to
+// issue traceroutes to measure the client-to-cloud paths"; this package is
+// that coordination layer: an enrollment of rich clients, periodic reverse
+// baselines per reverse path, and a localizer that re-checks suspicious
+// forward verdicts with a reverse comparison.
+package reverse
+
+import (
+	"blameit/internal/netmodel"
+	"blameit/internal/probe"
+	"blameit/internal/topology"
+)
+
+// historyLen bounds per-path reverse-baseline history, mirroring the
+// forward Baseliner.
+const historyLen = 8
+
+// Config tunes the coordinator.
+type Config struct {
+	// RichClientShare is the fraction of client /24s with an enrolled rich
+	// client able to issue traceroutes (Odin-style).
+	RichClientShare float64
+	// PeriodBuckets is the reverse-baseline refresh interval per reverse
+	// path (same trade-off as the forward background probes).
+	PeriodBuckets netmodel.Bucket
+}
+
+// DefaultConfig enrolls about a third of prefixes and refreshes reverse
+// baselines twice a day, matching the forward sweet spot.
+func DefaultConfig() Config {
+	return Config{RichClientShare: 0.35, PeriodBuckets: 12 * netmodel.BucketsPerHour}
+}
+
+type repTarget struct {
+	cloud  netmodel.CloudID
+	prefix netmodel.PrefixID
+}
+
+// Coordinator maintains reverse baselines through enrolled rich clients.
+type Coordinator struct {
+	cfg    Config
+	engine *probe.Engine
+
+	reps      map[netmodel.MiddleKey]repTarget
+	baselines map[netmodel.MiddleKey][]probe.Traceroute
+}
+
+// enrollHash drives the deterministic enrollment decision.
+func enrollHash(p netmodel.PrefixID) uint64 {
+	h := uint64(p)*0x9E3779B97F4A7C15 + 0x1234567
+	h ^= h >> 31
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return h
+}
+
+// NewCoordinator enrolls rich clients and registers every reverse path
+// that has at least one enrolled representative.
+func NewCoordinator(cfg Config, engine *probe.Engine) *Coordinator {
+	co := &Coordinator{
+		cfg:       cfg,
+		engine:    engine,
+		reps:      make(map[netmodel.MiddleKey]repTarget),
+		baselines: make(map[netmodel.MiddleKey][]probe.Traceroute),
+	}
+	w := engine.Sim.World
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			rk := w.ReversePath(c.ID, bp.ID).Key()
+			if _, ok := co.reps[rk]; ok {
+				continue
+			}
+			for _, pid := range w.PrefixesOfBGP(bp.ID) {
+				if co.Enrolled(pid) {
+					co.reps[rk] = repTarget{cloud: c.ID, prefix: pid}
+					break
+				}
+			}
+		}
+	}
+	return co
+}
+
+// Enrolled reports whether the /24 has a rich client able to probe.
+func (co *Coordinator) Enrolled(p netmodel.PrefixID) bool {
+	return enrollHash(p)%1000 < uint64(co.cfg.RichClientShare*1000)
+}
+
+// NumPaths returns the number of reverse paths with enrolled coverage.
+func (co *Coordinator) NumPaths() int { return len(co.reps) }
+
+// offset staggers periodic reverse probes.
+func offset(mk netmodel.MiddleKey, period netmodel.Bucket) netmodel.Bucket {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(mk); i++ {
+		h ^= uint64(mk[i])
+		h *= 1099511628211
+	}
+	return netmodel.Bucket(h % uint64(period))
+}
+
+// Advance issues the periodic reverse baselines due at bucket b.
+func (co *Coordinator) Advance(b netmodel.Bucket) {
+	if co.cfg.PeriodBuckets <= 0 {
+		return
+	}
+	for mk, rep := range co.reps {
+		if b%co.cfg.PeriodBuckets != offset(mk, co.cfg.PeriodBuckets) {
+			continue
+		}
+		tr := co.engine.ReverseTraceroute(rep.cloud, rep.prefix, b)
+		co.store(tr)
+	}
+}
+
+func (co *Coordinator) store(tr probe.Traceroute) {
+	mk := tr.Path.Key()
+	h := append(co.baselines[mk], tr)
+	if len(h) > historyLen {
+		h = h[len(h)-historyLen:]
+	}
+	co.baselines[mk] = h
+}
+
+// baselineBefore returns the latest reverse baseline at or before cutoff.
+func (co *Coordinator) baselineBefore(mk netmodel.MiddleKey, cutoff netmodel.Bucket) (probe.Traceroute, bool) {
+	h := co.baselines[mk]
+	if len(h) == 0 {
+		return probe.Traceroute{}, false
+	}
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Bucket <= cutoff {
+			return h[i], true
+		}
+	}
+	return h[0], true
+}
+
+// Covered reports whether (cloud, prefix) can be reverse-probed at all:
+// either the prefix has an enrolled rich client, or some enrolled client
+// sits behind the same reverse path. Uncovered pairs are a real limitation
+// of the extension — reverse probing reaches only as far as the rich-client
+// population does.
+func (co *Coordinator) Covered(c netmodel.CloudID, p netmodel.PrefixID) bool {
+	if co.Enrolled(p) {
+		return true
+	}
+	rk := co.engine.Sim.ReversePathFor(p, c).Key()
+	rep, ok := co.reps[rk]
+	return ok && rep.cloud == c
+}
+
+// Localize runs the reverse comparison for (cloud, prefix) at bucket b,
+// against a reverse baseline predating cutoff. It needs an enrolled rich
+// client in the prefix — or, failing that, one behind the same reverse
+// path — and an established baseline.
+func (co *Coordinator) Localize(c netmodel.CloudID, p netmodel.PrefixID, b, cutoff netmodel.Bucket) (probe.CompareResult, bool) {
+	target := p
+	rk := co.engine.Sim.ReversePathFor(p, c).Key()
+	if !co.Enrolled(p) {
+		rep, ok := co.reps[rk]
+		if !ok || rep.cloud != c {
+			return probe.CompareResult{}, false
+		}
+		target = rep.prefix
+	}
+	baseline, ok := co.baselineBefore(rk, cutoff)
+	if !ok {
+		return probe.CompareResult{}, false
+	}
+	now := co.engine.ReverseTraceroute(c, target, b)
+	res := probe.Compare(now, baseline)
+	if !res.OK {
+		return probe.CompareResult{}, false
+	}
+	return res, true
+}
+
+// Suspicious reports whether a forward comparison's outcome warrants a
+// reverse re-check for a passively middle-blamed issue: the forward diff
+// failed outright, found no meaningful increase, or parked the increase on
+// the cloud segment — the signature of reverse-direction congestion
+// flattening every hop.
+func Suspicious(ok bool, seg netmodel.Segment, increaseMS float64) bool {
+	if !ok {
+		return true
+	}
+	return seg == netmodel.SegCloud || increaseMS < 5
+}
+
+// World re-exports the engine's world for callers composing experiments.
+func (co *Coordinator) World() *topology.World { return co.engine.Sim.World }

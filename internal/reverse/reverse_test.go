@@ -1,0 +1,213 @@
+package reverse
+
+import (
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// asymPair finds an asymmetric (cloud, prefix) pair and an AS that is on
+// the reverse path but not the forward path.
+func asymPair(w *topology.World) (netmodel.CloudID, netmodel.PrefixID, netmodel.ASN, bool) {
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			if !w.Asymmetric(c.ID, bp.ID) {
+				continue
+			}
+			fwd := w.InitialPath(c.ID, bp.ID)
+			rev := w.ReversePath(c.ID, bp.ID)
+			onFwd := make(map[netmodel.ASN]bool)
+			for _, a := range fwd.Middle {
+				onFwd[a] = true
+			}
+			for _, a := range rev.Middle {
+				if !onFwd[a] {
+					return c.ID, w.PrefixesOfBGP(bp.ID)[0], a, true
+				}
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func newSim(t testing.TB, fs []faults.Fault) *sim.Simulator {
+	t.Helper()
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, 2*netmodel.BucketsPerDay, 7)
+	return sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
+}
+
+func TestReversePathDeterministicAndAsymmetricShare(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	asym, total := 0, 0
+	for _, c := range w.Clouds {
+		for _, bp := range w.BGPPrefixes {
+			total++
+			r1 := w.ReversePath(c.ID, bp.ID)
+			r2 := w.ReversePath(c.ID, bp.ID)
+			if !r1.Equal(r2) {
+				t.Fatal("reverse path not deterministic")
+			}
+			if w.Asymmetric(c.ID, bp.ID) {
+				asym++
+				if r1.Equal(w.InitialPath(c.ID, bp.ID)) {
+					t.Fatal("asymmetric pair has identical reverse path")
+				}
+			} else if !r1.Equal(w.InitialPath(c.ID, bp.ID)) {
+				t.Fatal("symmetric pair has different reverse path")
+			}
+		}
+	}
+	frac := float64(asym) / float64(total)
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("asymmetric share = %.2f, want ~0.35", frac)
+	}
+}
+
+func TestReverseFaultRaisesRTTButHidesFromForwardProbe(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c, p, as, ok := asymPair(w)
+	if !ok {
+		t.Fatal("no asymmetric pair")
+	}
+	f := faults.Fault{
+		Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud,
+		Start: 100, Duration: 24, ExtraMS: 90, ReverseOnly: true,
+	}
+	s := newSim(t, []faults.Fault{f})
+	// The handshake RTT sees the reverse congestion.
+	before := s.MeanRTT(p, c, 90)
+	during := s.MeanRTT(p, c, 110)
+	if during-before < 80 {
+		t.Fatalf("reverse fault invisible in RTT: delta %.1f", during-before)
+	}
+	// Ground truth attributes it to the reverse-path AS, middle segment.
+	inf := s.DominantInflation(p, c, 110)
+	if inf.AS != as || inf.Segment != netmodel.SegMiddle {
+		t.Fatalf("ground truth = %+v, want AS%d middle", inf, as)
+	}
+	// The forward traceroute diff parks the increase on the first hop
+	// (cloud segment), not on the true middle AS.
+	e := probe.NewEngine(s, 0.5)
+	base := e.Traceroute(c, p, 90, probe.Background)
+	now := e.Traceroute(c, p, 110, probe.OnDemand)
+	res := probe.Compare(now, base)
+	if !res.OK {
+		t.Fatal("forward comparison failed")
+	}
+	if res.AS == as {
+		t.Fatal("forward probe unexpectedly localized the reverse fault")
+	}
+	if !Suspicious(res.OK, res.Segment, res.IncreaseMS) {
+		t.Errorf("forward outcome (%v, %.1fms) not flagged suspicious", res.Segment, res.IncreaseMS)
+	}
+}
+
+func TestCoordinatorLocalizesReverseFault(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c, p, as, ok := asymPair(w)
+	if !ok {
+		t.Fatal("no asymmetric pair")
+	}
+	f := faults.Fault{
+		Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud,
+		Start: 400, Duration: 24, ExtraMS: 90, ReverseOnly: true,
+	}
+	s := newSim(t, []faults.Fault{f})
+	e := probe.NewEngine(s, 0.5)
+	co := NewCoordinator(DefaultConfig(), e)
+	if co.NumPaths() == 0 {
+		t.Fatal("no reverse paths covered")
+	}
+	// Establish reverse baselines for a day before the fault.
+	for b := netmodel.Bucket(0); b < 400; b++ {
+		co.Advance(b)
+	}
+	res, ok2 := co.Localize(c, p, 410, 399)
+	if !ok2 {
+		t.Fatal("reverse localization unavailable")
+	}
+	if res.AS != as || res.Segment != netmodel.SegMiddle {
+		t.Fatalf("reverse verdict = AS%d (%v), want AS%d (middle)", res.AS, res.Segment, as)
+	}
+	if res.IncreaseMS < 80 {
+		t.Errorf("reverse increase = %.1f, want ~90", res.IncreaseMS)
+	}
+}
+
+func TestLocalizeViaSharedPathRepresentative(t *testing.T) {
+	// A prefix without a rich client can still be probed through an
+	// enrolled client behind the same reverse path.
+	w := topology.Generate(topology.SmallScale(), 42)
+	s := newSim(t, nil)
+	e := probe.NewEngine(s, 0.5)
+	co := NewCoordinator(DefaultConfig(), e)
+	for b := netmodel.Bucket(0); b < 300; b++ {
+		co.Advance(b)
+	}
+	checked := 0
+	for _, p := range w.Prefixes {
+		if co.Enrolled(p.ID) {
+			continue
+		}
+		c := w.Attachments(p.ID)[0].Cloud
+		if _, ok := co.Localize(c, p.ID, 310, 309); ok {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no unenrolled prefix could be localized via a shared representative")
+	}
+}
+
+func TestEnrollmentDeterministicAndPartial(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	s := newSim(t, nil)
+	co := NewCoordinator(DefaultConfig(), probe.NewEngine(s, 0))
+	co2 := NewCoordinator(DefaultConfig(), probe.NewEngine(s, 0))
+	enrolled := 0
+	for _, p := range w.Prefixes {
+		if co.Enrolled(p.ID) != co2.Enrolled(p.ID) {
+			t.Fatal("enrollment not deterministic")
+		}
+		if co.Enrolled(p.ID) {
+			enrolled++
+		}
+	}
+	frac := float64(enrolled) / float64(len(w.Prefixes))
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("enrolled share = %.2f, want ~0.35", frac)
+	}
+}
+
+func TestReverseProbeCounting(t *testing.T) {
+	s := newSim(t, nil)
+	e := probe.NewEngine(s, 0)
+	co := NewCoordinator(Config{RichClientShare: 0.35, PeriodBuckets: 144}, e)
+	for b := netmodel.Bucket(0); b < 144; b++ {
+		co.Advance(b)
+	}
+	if got := e.Counters().Count(probe.ClientReverse); got != int64(co.NumPaths()) {
+		t.Errorf("reverse probes = %d, want one per covered path (%d)", got, co.NumPaths())
+	}
+}
+
+func TestSuspicious(t *testing.T) {
+	if !Suspicious(false, netmodel.SegMiddle, 50) {
+		t.Error("failed comparison must be suspicious")
+	}
+	if !Suspicious(true, netmodel.SegCloud, 50) {
+		t.Error("cloud-parked increase must be suspicious")
+	}
+	if !Suspicious(true, netmodel.SegMiddle, 1) {
+		t.Error("vanishing increase must be suspicious")
+	}
+	if Suspicious(true, netmodel.SegMiddle, 50) {
+		t.Error("clean middle verdict must not be suspicious")
+	}
+}

@@ -1,0 +1,439 @@
+// Package sim is the time-stepped wide-area latency simulator that stands
+// in for Azure's production telemetry. Given a topology, a routing table,
+// and a fault schedule, it produces per-quartet RTT observations (the
+// passive TCP-handshake stream of the paper), answers per-AS latency
+// ground-truth queries (the basis for traceroute simulation and accuracy
+// grading), and models diurnal client-side congestion with the night-peaked
+// shape reported in §2.2.
+//
+// All stochastic values are derived from a hash of (seed, prefix, cloud,
+// bucket), so any observation can be regenerated at random access without
+// replaying the stream.
+package sim
+
+import (
+	"math"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/ipaddr"
+	"blameit/internal/netmodel"
+	"blameit/internal/topology"
+	"blameit/internal/trace"
+)
+
+// Config holds the simulator's dynamic-behaviour knobs.
+type Config struct {
+	Seed int64
+	// NoiseSigma is the log-scale standard deviation of per-sample RTT
+	// noise; the noise on a quartet mean shrinks with sqrt(sample count).
+	NoiseSigma float64
+	// MixSigma is the log-scale deviation of per-quartet client-mix
+	// variation: which clients inside a /24 happen to connect shifts the
+	// quartet mean and does NOT average away with more samples. This keeps
+	// coherent few-millisecond shifts (drift, mild congestion) from
+	// flipping an entire location's quartets past their medians at once.
+	MixSigma float64
+	// SamplesPerClient is the mean number of TCP connections (and hence RTT
+	// samples) one active client contributes per 5-minute bucket.
+	SamplesPerClient float64
+	// DiurnalMaxMS bounds per-AS evening congestion amplitude.
+	DiurnalMaxMS float64
+	// DriftMS is the amplitude of the slow per-AS latency drift (a smooth
+	// day-scale random walk). Stale traceroute baselines misestimate an
+	// AS's normal contribution by up to roughly this much, which is what
+	// makes background-probe freshness matter (Fig. 13).
+	DriftMS float64
+}
+
+// DefaultConfig returns the calibrated simulator settings.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, NoiseSigma: 0.10, MixSigma: 0.07, SamplesPerClient: 4.0, DiurnalMaxMS: 18, DriftMS: 2}
+}
+
+// Observation aliases the shared passive-measurement record; the simulator
+// produces the same record shape the production collector emits.
+type Observation = trace.Observation
+
+// Simulator generates observations and answers ground-truth queries.
+type Simulator struct {
+	World  *topology.World
+	Routes *bgp.Table
+	Sched  *faults.Schedule
+	cfg    Config
+
+	diurnalAmp    map[netmodel.ASN]float64 // evening congestion amplitude per eyeball AS
+	weekendFactor map[netmodel.ASN]float64 // how much of the diurnal shape survives weekends
+	eveningPeak   map[netmodel.ASN]float64 // peak hour of the AS's congestion
+}
+
+// New creates a simulator. The routing table and fault schedule may cover
+// any horizon; queries beyond the table's horizon use its last state.
+func New(w *topology.World, routes *bgp.Table, sched *faults.Schedule, cfg Config) *Simulator {
+	s := &Simulator{
+		World:         w,
+		Routes:        routes,
+		Sched:         sched,
+		cfg:           cfg,
+		diurnalAmp:    make(map[netmodel.ASN]float64),
+		weekendFactor: make(map[netmodel.ASN]float64),
+		eveningPeak:   make(map[netmodel.ASN]float64),
+	}
+	for _, reg := range netmodel.AllRegions() {
+		for _, asn := range w.Eyeballs[reg] {
+			// Only a subset of ISPs congest in the evening: well-provisioned
+			// networks stay flat, most see a light bump, and a minority of
+			// under-provisioned home ISPs swing hard. Keeping the heavy
+			// swings to a minority is what lets Algorithm 1's Insight-2
+			// hold — evening badness is a client-segment phenomenon, not a
+			// location-wide shift.
+			h := mix(uint64(cfg.Seed), uint64(asn), 0xd1)
+			u := u01(h)
+			h1b := mix(uint64(cfg.Seed), uint64(asn), 0xd4)
+			switch {
+			case u < 0.4:
+				s.diurnalAmp[asn] = 0
+			case u < 0.7:
+				s.diurnalAmp[asn] = 1 + 3*u01(h1b)
+			default:
+				s.diurnalAmp[asn] = 5 + (cfg.DiurnalMaxMS-5)*u01(h1b)
+			}
+			h2 := mix(uint64(cfg.Seed), uint64(asn), 0xd2)
+			s.weekendFactor[asn] = 0.3 + 0.7*u01(h2)
+			h3 := mix(uint64(cfg.Seed), uint64(asn), 0xd3)
+			s.eveningPeak[asn] = 19 + 4*u01(h3) // peak between 19:00 and 23:00
+		}
+	}
+	return s
+}
+
+// Config returns the simulator configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// mix is a splitmix64-style hash over its inputs, used to derive
+// deterministic per-entity randomness.
+func mix(vals ...uint64) uint64 {
+	var h uint64 = 0x9E3779B97F4A7C15
+	for _, v := range vals {
+		h ^= v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 27
+		h *= 0x94D049BB133111EB
+		h ^= h >> 31
+	}
+	return h
+}
+
+// u01 maps a hash to a float in [0,1).
+func u01(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// gauss maps two hashes to a standard normal draw (Box-Muller).
+func gauss(h1, h2 uint64) float64 {
+	u1 := u01(h1)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u01(h2))
+}
+
+// nightFactor is the diurnal congestion shape: a bump peaking at the AS's
+// evening peak hour, wrapping around midnight.
+func nightFactor(hour float64, peak float64) float64 {
+	best := 0.0
+	for _, k := range [...]float64{-24, 0, 24} {
+		d := hour - peak + k
+		v := math.Exp(-d * d / (2 * 3.5 * 3.5))
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// drift returns the slow latency drift of an AS (or cloud location, via a
+// distinct salt) at a bucket: day-boundary values drawn in [-DriftMS,
+// +DriftMS], linearly interpolated within the day.
+func (s *Simulator) drift(id uint64, salt uint64, b netmodel.Bucket) float64 {
+	if s.cfg.DriftMS == 0 {
+		return 0
+	}
+	day := b.Day()
+	at := func(d int) float64 {
+		return (2*u01(mix(uint64(s.cfg.Seed), id, salt, uint64(d))) - 1) * s.cfg.DriftMS
+	}
+	frac := float64(b.OfDay()) / float64(netmodel.BucketsPerDay)
+	return at(day)*(1-frac) + at(day+1)*frac
+}
+
+// DiurnalClientExtra returns the client-segment congestion (ms) a prefix
+// experiences at a bucket: the organic, non-fault badness that the paper
+// attributes to evening home-ISP load.
+func (s *Simulator) DiurnalClientExtra(p netmodel.PrefixID, b netmodel.Bucket) float64 {
+	pref := s.World.Prefixes[p]
+	amp := s.diurnalAmp[pref.AS]
+	if b.IsWeekend() {
+		amp *= s.weekendFactor[pref.AS]
+	}
+	hour := float64(b.OfDay()) / float64(netmodel.BucketsPerHour)
+	nf := nightFactor(hour, s.eveningPeak[pref.AS])
+	// Per-prefix susceptibility: some /24s ride congested segments harder.
+	sus := 0.5 + 1.0*u01(mix(uint64(s.cfg.Seed), uint64(p), 0xc0))
+	return amp * nf * sus
+}
+
+// pathFor resolves the route for (prefix, cloud) at a bucket, honouring
+// traffic-shift faults which pin the initial route of the shift target.
+func (s *Simulator) pathFor(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) netmodel.Path {
+	return s.Routes.PathAtForPrefix(c, p, b)
+}
+
+// Contributions returns the ground-truth per-AS latency contributions (ms)
+// of the connection from prefix p to cloud c at bucket b, ordered cloud →
+// middle → client, including fault and diurnal effects.
+func (s *Simulator) Contributions(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) []topology.ASContribution {
+	path := s.pathFor(p, c, b)
+	out := s.World.BaseContributions(path, p)
+	pref := s.World.Prefixes[p]
+	// Cloud segment: faults plus slow drift. The location-wide drift is
+	// kept small — coherent shifts across every client of a location are
+	// rare in practice, and the per-AS drifts below already decorrelate
+	// stale baselines.
+	out[0].MS += s.Sched.CloudExtra(c, b) + 0.4*s.drift(uint64(c), 0xdc, b)
+	// Middle segments: faults plus slow drift.
+	for i := 1; i < len(out)-1; i++ {
+		out[i].MS += s.Sched.MiddleExtra(out[i].AS, c, b) + s.drift(uint64(out[i].AS), 0xda, b)
+	}
+	// Traffic-shift congestion lands on the first middle AS of the shifted
+	// path.
+	if target, ok := s.Sched.ShiftTarget(p, b); ok && target == c && len(out) > 2 {
+		out[1].MS += s.shiftExtra(p, b)
+	}
+	// Client segment: faults plus organic diurnal congestion.
+	last := len(out) - 1
+	out[last].MS += s.Sched.ClientExtra(p, pref.AS, b)
+	out[last].MS += s.DiurnalClientExtra(p, b)
+	// Negative drift must never drive a segment below a physical floor.
+	for i := range out {
+		if out[i].MS < 0.2 {
+			out[i].MS = 0.2
+		}
+	}
+	return out
+}
+
+// shiftExtra returns the congestion injected by an active traffic-shift
+// fault covering prefix p.
+func (s *Simulator) shiftExtra(p netmodel.PrefixID, b netmodel.Bucket) float64 {
+	for _, f := range s.Sched.Faults {
+		if f.Kind == faults.TrafficShift && f.ActiveAt(b) {
+			for _, sp := range f.ShiftPrefixes {
+				if sp == p {
+					return f.ExtraMS
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// ReversePathFor returns the client→cloud route of the prefix's covering
+// BGP prefix toward cloud c (in forward orientation; see
+// topology.ReversePath).
+func (s *Simulator) ReversePathFor(p netmodel.PrefixID, c netmodel.CloudID) netmodel.Path {
+	return s.World.ReversePath(c, s.World.Prefixes[p].BGPPrefix)
+}
+
+// ReverseExtra returns the total latency injected by reverse-only faults
+// on the client→cloud route of (prefix, cloud) at a bucket. The TCP
+// handshake crosses both directions, so this rides on top of the forward
+// contributions in MeanRTT.
+func (s *Simulator) ReverseExtra(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) float64 {
+	var sum float64
+	for _, as := range s.ReversePathFor(p, c).Middle {
+		sum += s.Sched.MiddleExtraReverse(as, c, b)
+	}
+	return sum
+}
+
+// ReverseFaultAS returns the reverse-path AS carrying the largest
+// reverse-only inflation for (prefix, cloud) at a bucket, if any.
+func (s *Simulator) ReverseFaultAS(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) (netmodel.ASN, float64, bool) {
+	var bestAS netmodel.ASN
+	var best float64
+	for _, as := range s.ReversePathFor(p, c).Middle {
+		if ms := s.Sched.MiddleExtraReverse(as, c, b); ms > best {
+			best = ms
+			bestAS = as
+		}
+	}
+	return bestAS, best, best > 0
+}
+
+// MeanRTT returns the noise-free expected RTT of (prefix, cloud) at a
+// bucket: the sum of forward ground-truth contributions plus any
+// reverse-direction congestion the round trip crosses.
+func (s *Simulator) MeanRTT(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) float64 {
+	var sum float64
+	for _, con := range s.Contributions(p, c, b) {
+		sum += con.MS
+	}
+	return sum + s.ReverseExtra(p, c, b)
+}
+
+// attachmentsAt returns the cloud attachments of a prefix at a bucket,
+// honouring traffic-shift faults (a shifted prefix connects only to the
+// shift target).
+func (s *Simulator) attachmentsAt(p netmodel.PrefixID, b netmodel.Bucket) []topology.CloudAttachment {
+	if target, ok := s.Sched.ShiftTarget(p, b); ok {
+		return []topology.CloudAttachment{{Cloud: target, Weight: 1}}
+	}
+	return s.World.Attachments(p)
+}
+
+// volumeFactor models diurnal connection volume: consumer traffic peaks in
+// the evening alongside congestion.
+func (s *Simulator) volumeFactor(p netmodel.PrefixID, b netmodel.Bucket) float64 {
+	pref := s.World.Prefixes[p]
+	hour := float64(b.OfDay()) / float64(netmodel.BucketsPerHour)
+	return 0.55 + 0.75*nightFactor(hour, s.eveningPeak[pref.AS])
+}
+
+// ObservationsAt generates the quartet-level observations of one bucket,
+// appending to buf (which may be nil) and returning the extended slice.
+// Quartets with zero samples are omitted.
+func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Observation {
+	for _, pref := range s.World.Prefixes {
+		for _, att := range s.attachmentsAt(pref.ID, b) {
+			o, ok := s.Observe(pref.ID, att.Cloud, att.Weight, b)
+			if ok {
+				buf = append(buf, o)
+			}
+		}
+	}
+	return buf
+}
+
+// Observe generates the observation of a single (prefix, cloud) quartet at
+// a bucket with the given traffic weight. It reports false when no clients
+// connected in the bucket.
+func (s *Simulator) Observe(p netmodel.PrefixID, c netmodel.CloudID, weight float64, b netmodel.Bucket) (Observation, bool) {
+	pref := s.World.Prefixes[p]
+	h1 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 1)
+	h2 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 2)
+	h3 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 3)
+
+	expClients := float64(pref.ActiveClients) * weight * s.volumeFactor(p, b)
+	clients := int(expClients + gauss(h1, h2)*math.Sqrt(expClients)*0.5 + 0.5)
+	if clients <= 0 {
+		return Observation{}, false
+	}
+	samples := int(float64(clients)*s.cfg.SamplesPerClient + 0.5)
+	if samples < 1 {
+		samples = 1
+	}
+	mean := s.MeanRTT(p, c, b)
+	// Mean-of-n noise: per-sample sigma shrinks with sqrt(n); the client
+	// mix term does not.
+	h4 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 4)
+	noise := math.Exp(gauss(h2, h3)*s.cfg.NoiseSigma/math.Sqrt(float64(samples)) +
+		gauss(h3, h4)*s.cfg.MixSigma)
+	return Observation{
+		Prefix:  p,
+		Cloud:   c,
+		Device:  pref.Device,
+		Bucket:  b,
+		Samples: samples,
+		MeanRTT: mean * noise,
+		Clients: clients,
+	}, true
+}
+
+// SamplesAt expands one bucket's observations into the raw handshake
+// sample stream (trace.Sample records with per-sample RTT spread and
+// distinct client addresses), appending to buf. This is the record shape
+// the cloud servers log before quartet aggregation.
+func (s *Simulator) SamplesAt(b netmodel.Bucket, buf []trace.Sample) []trace.Sample {
+	var obs []Observation
+	obs = s.ObservationsAt(b, obs)
+	for _, o := range obs {
+		base := s.World.Prefixes[o.Prefix].Base
+		clients := o.Clients
+		if clients < 1 {
+			clients = 1
+		}
+		if clients > 254 {
+			clients = 254
+		}
+		for i := 0; i < o.Samples; i++ {
+			h1 := mix(uint64(s.cfg.Seed), uint64(o.Prefix), uint64(o.Cloud), uint64(b), uint64(500+i), 1)
+			h2 := mix(uint64(s.cfg.Seed), uint64(o.Prefix), uint64(o.Cloud), uint64(b), uint64(500+i), 2)
+			rtt := o.MeanRTT * math.Exp(gauss(h1, h2)*s.cfg.NoiseSigma)
+			buf = append(buf, trace.Sample{
+				Client: ipaddr.Addr(base) | ipaddr.Addr(1+i%clients),
+				Cloud:  o.Cloud,
+				Device: o.Device,
+				Bucket: b,
+				RTTms:  rtt,
+			})
+		}
+	}
+	return buf
+}
+
+// SampleRTTs draws n individual RTT samples for a quartet, for tests that
+// need sample-level data (e.g. the K-S homogeneity validation of §2.1).
+func (s *Simulator) SampleRTTs(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket, n int) []float64 {
+	mean := s.MeanRTT(p, c, b)
+	out := make([]float64, n)
+	for i := range out {
+		h1 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), uint64(100+i), 1)
+		h2 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), uint64(100+i), 2)
+		out[i] = mean * math.Exp(gauss(h1, h2)*s.cfg.NoiseSigma)
+	}
+	return out
+}
+
+// Inflation describes the ground-truth dominant cause of an RTT increase.
+type Inflation struct {
+	AS       netmodel.ASN
+	Segment  netmodel.Segment
+	ExtraMS  float64 // the dominant AS's inflation over its static base
+	TotalMS  float64 // total inflation over the static base RTT
+	Dominant bool    // true when the top AS carries >= 80% of the inflation
+}
+
+// DominantInflation identifies which AS contributes the largest latency
+// increase over the static base for (prefix, cloud) at a bucket. This is
+// the answer key used to grade BlameIt's localization. The 80% dominance
+// threshold mirrors the paper's Insight-1 measurement.
+func (s *Simulator) DominantInflation(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bucket) Inflation {
+	now := s.Contributions(p, c, b)
+	path := s.pathFor(p, c, b)
+	base := s.World.BaseContributions(path, p)
+	var inf Inflation
+	for i := range now {
+		d := now[i].MS - base[i].MS
+		inf.TotalMS += d
+		if d > inf.ExtraMS {
+			inf.ExtraMS = d
+			inf.AS = now[i].AS
+			inf.Segment = now[i].Segment
+		}
+	}
+	// Reverse-direction congestion counts as middle inflation attributed
+	// to the reverse-path AS carrying it.
+	if as, ms, ok := s.ReverseFaultAS(p, c, b); ok {
+		inf.TotalMS += ms
+		if ms > inf.ExtraMS {
+			inf.ExtraMS = ms
+			inf.AS = as
+			inf.Segment = netmodel.SegMiddle
+		}
+	}
+	if inf.TotalMS > 0 && inf.ExtraMS/inf.TotalMS >= 0.8 {
+		inf.Dominant = true
+	}
+	return inf
+}

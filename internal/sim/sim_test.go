@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/ipaddr"
+	"blameit/internal/netmodel"
+	"blameit/internal/stats"
+	"blameit/internal/topology"
+	"blameit/internal/trace"
+)
+
+// rig bundles a small world with a simulator over the given schedule.
+type rig struct {
+	w   *topology.World
+	tbl *bgp.Table
+	sim *Simulator
+}
+
+func newRig(t testing.TB, fs []faults.Fault, horizonDays int) *rig {
+	t.Helper()
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.Bucket(horizonDays*netmodel.BucketsPerDay), 7)
+	s := New(w, tbl, faults.NewSchedule(fs), DefaultConfig(99))
+	return &rig{w: w, tbl: tbl, sim: s}
+}
+
+func TestMeanRTTMatchesBaseWithoutFaults(t *testing.T) {
+	r := newRig(t, nil, 1)
+	cfg := DefaultConfig(99)
+	cfg.DriftMS = 0 // isolate the base-RTT identity from slow drift
+	r.sim = New(r.w, r.tbl, r.sim.Sched, cfg)
+	p := r.w.Prefixes[0]
+	c := r.w.Attachments(p.ID)[0].Cloud
+	// At an early-morning bucket the diurnal extra is near zero.
+	var quiet netmodel.Bucket = -1
+	for b := netmodel.Bucket(0); b < netmodel.BucketsPerDay; b++ {
+		if r.sim.DiurnalClientExtra(p.ID, b) < 0.5 {
+			quiet = b
+			break
+		}
+	}
+	if quiet < 0 {
+		t.Fatal("no quiet bucket found")
+	}
+	base := r.w.BasePathRTT(r.w.InitialPath(c, p.BGPPrefix), p.ID)
+	got := r.sim.MeanRTT(p.ID, c, quiet)
+	if math.Abs(got-base) > 1.0 {
+		t.Errorf("quiet-hour RTT %v differs from base %v", got, base)
+	}
+}
+
+func TestCloudFaultRaisesRTTForAllClients(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c := w.Clouds[0]
+	f := faults.Fault{Kind: faults.CloudFault, Cloud: c.ID, ScopeCloud: faults.NoCloud, Start: 10, Duration: 5, ExtraMS: 50}
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+	for _, p := range w.Prefixes[:20] {
+		before := s.MeanRTT(p.ID, c.ID, 9)
+		during := s.MeanRTT(p.ID, c.ID, 12)
+		if during-before < 45 {
+			t.Fatalf("prefix %d: fault raised RTT by only %.1f", p.ID, during-before)
+		}
+	}
+}
+
+func TestMiddleFaultAffectsOnlyPathsThroughAS(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	as := w.Tier1s[0]
+	f := faults.Fault{Kind: faults.MiddleASFault, AS: as, ScopeCloud: faults.NoCloud, Start: 10, Duration: 5, ExtraMS: 60}
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+	affected, unaffected := 0, 0
+	for _, p := range w.Prefixes {
+		for _, c := range w.Clouds {
+			path := tbl.PathAtForPrefix(c.ID, p.ID, 12)
+			onPath := false
+			for _, m := range path.Middle {
+				if m == as {
+					onPath = true
+				}
+			}
+			delta := s.MeanRTT(p.ID, c.ID, 12) - s.MeanRTT(p.ID, c.ID, 9)
+			if onPath {
+				affected++
+				if delta < 55 {
+					t.Fatalf("on-path pair saw delta %.1f", delta)
+				}
+			} else {
+				unaffected++
+				if delta > 10 {
+					t.Fatalf("off-path pair saw delta %.1f", delta)
+				}
+			}
+		}
+	}
+	if affected == 0 || unaffected == 0 {
+		t.Fatalf("degenerate split: %d affected, %d unaffected", affected, unaffected)
+	}
+}
+
+func TestScopedMiddleFault(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	as := w.Tier1s[0]
+	scope := w.Clouds[0].ID
+	f := faults.Fault{Kind: faults.MiddleASFault, AS: as, ScopeCloud: scope, Start: 10, Duration: 5, ExtraMS: 60}
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+	// Find a prefix whose paths from two different clouds both traverse as.
+	for _, p := range w.Prefixes {
+		onScope, onOther := false, netmodel.CloudID(-1)
+		for _, c := range w.Clouds {
+			path := tbl.PathAtForPrefix(c.ID, p.ID, 12)
+			for _, m := range path.Middle {
+				if m != as {
+					continue
+				}
+				if c.ID == scope {
+					onScope = true
+				} else {
+					onOther = c.ID
+				}
+			}
+		}
+		if onScope && onOther >= 0 {
+			dScoped := s.MeanRTT(p.ID, scope, 12) - s.MeanRTT(p.ID, scope, 9)
+			dOther := s.MeanRTT(p.ID, onOther, 12) - s.MeanRTT(p.ID, onOther, 9)
+			if dScoped < 55 {
+				t.Errorf("scoped cloud delta %.1f too small", dScoped)
+			}
+			if dOther > 10 {
+				t.Errorf("other cloud delta %.1f; scope leaked", dOther)
+			}
+			return
+		}
+	}
+	t.Skip("no prefix traverses the AS from both the scoped and another cloud")
+}
+
+func TestDiurnalShape(t *testing.T) {
+	r := newRig(t, nil, 7)
+	p := r.w.Prefixes[0]
+	// Average congestion at 21h must exceed the 06h value for the typical AS.
+	evening := netmodel.Bucket(21 * netmodel.BucketsPerHour)
+	morning := netmodel.Bucket(6 * netmodel.BucketsPerHour)
+	totEve, totMor := 0.0, 0.0
+	for _, pp := range r.w.Prefixes {
+		totEve += r.sim.DiurnalClientExtra(pp.ID, evening)
+		totMor += r.sim.DiurnalClientExtra(pp.ID, morning)
+	}
+	if totEve < totMor*2 {
+		t.Errorf("evening congestion (%.1f) not clearly above morning (%.1f)", totEve, totMor)
+	}
+	_ = p
+}
+
+func TestWeekendDampensDiurnal(t *testing.T) {
+	r := newRig(t, nil, 7)
+	evening := 21 * netmodel.BucketsPerHour
+	weekday := netmodel.Bucket(evening)                            // day 0, Monday
+	weekend := netmodel.Bucket(5*netmodel.BucketsPerDay + evening) // day 5, Saturday
+	var wk, we float64
+	for _, p := range r.w.Prefixes {
+		wk += r.sim.DiurnalClientExtra(p.ID, weekday)
+		we += r.sim.DiurnalClientExtra(p.ID, weekend)
+	}
+	if we >= wk {
+		t.Errorf("weekend congestion (%.1f) not dampened vs weekday (%.1f)", we, wk)
+	}
+}
+
+func TestObservationsDeterministic(t *testing.T) {
+	r := newRig(t, nil, 1)
+	a := r.sim.ObservationsAt(10, nil)
+	b := r.sim.ObservationsAt(10, nil)
+	if len(a) != len(b) {
+		t.Fatal("observation counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("observations not deterministic")
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no observations generated")
+	}
+}
+
+func TestObservationsShape(t *testing.T) {
+	r := newRig(t, nil, 1)
+	obs := r.sim.ObservationsAt(netmodel.Bucket(20*netmodel.BucketsPerHour), nil)
+	withEnough := 0
+	for _, o := range obs {
+		if o.Samples <= 0 || o.MeanRTT <= 0 || o.Clients <= 0 {
+			t.Fatalf("degenerate observation %+v", o)
+		}
+		if o.Device != r.w.Prefixes[o.Prefix].Device {
+			t.Fatal("device class mismatch")
+		}
+		if o.Samples >= 10 {
+			withEnough++
+		}
+	}
+	if frac := float64(withEnough) / float64(len(obs)); frac < 0.3 {
+		t.Errorf("only %.0f%% of quartets have >=10 samples", frac*100)
+	}
+}
+
+func TestObservationNoiseShrinksWithSamples(t *testing.T) {
+	// Quartets with many samples should have relative error smaller than
+	// sparse ones on average.
+	r := newRig(t, nil, 1)
+	b := netmodel.Bucket(20 * netmodel.BucketsPerHour)
+	var bigErr, smallErr stats.Welford
+	for _, o := range r.sim.ObservationsAt(b, nil) {
+		mean := r.sim.MeanRTT(o.Prefix, o.Cloud, b)
+		rel := math.Abs(o.MeanRTT-mean) / mean
+		if o.Samples >= 50 {
+			bigErr.Add(rel)
+		} else if o.Samples < 10 {
+			smallErr.Add(rel)
+		}
+	}
+	if bigErr.N() < 5 || smallErr.N() < 5 {
+		t.Skip("not enough quartets in both classes")
+	}
+	if bigErr.Mean() >= smallErr.Mean() {
+		t.Errorf("relative error with many samples (%.4f) not below sparse (%.4f)", bigErr.Mean(), smallErr.Mean())
+	}
+}
+
+func TestSampleRTTsKSHomogeneity(t *testing.T) {
+	// §2.1: splitting a quartet's samples in half must pass the K-S
+	// same-distribution test.
+	r := newRig(t, nil, 1)
+	p := r.w.Prefixes[0]
+	c := r.w.Attachments(p.ID)[0].Cloud
+	xs := r.sim.SampleRTTs(p.ID, c, 10, 200)
+	if !stats.KSSameDistribution(xs[:100], xs[100:], 0.01) {
+		t.Error("K-S test rejected two halves of one quartet")
+	}
+}
+
+func TestDominantInflationCloudFault(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	c := w.Clouds[0]
+	f := faults.Fault{Kind: faults.CloudFault, Cloud: c.ID, ScopeCloud: faults.NoCloud, Start: 10, Duration: 5, ExtraMS: 50}
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+	// Pick a quiet-hour bucket inside the fault to avoid diurnal competition.
+	p := w.Prefixes[0]
+	inf := s.DominantInflation(p.ID, c.ID, 12)
+	if inf.Segment != netmodel.SegCloud || inf.AS != w.CloudASN {
+		t.Errorf("dominant inflation = %+v, want cloud", inf)
+	}
+	if !inf.Dominant && s.DiurnalClientExtra(p.ID, 12) < 10 {
+		t.Errorf("cloud fault not dominant: %+v", inf)
+	}
+}
+
+func TestDominantInflationClientFault(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	p := w.Prefixes[0]
+	f := faults.Fault{Kind: faults.ClientPrefixFault, Prefix: p.ID, Start: 10, Duration: 5, ExtraMS: 70}
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+	c := w.Attachments(p.ID)[0].Cloud
+	inf := s.DominantInflation(p.ID, c, 12)
+	if inf.Segment != netmodel.SegClient || inf.AS != p.AS {
+		t.Errorf("dominant inflation = %+v, want client AS %d", inf, p.AS)
+	}
+}
+
+func TestTrafficShiftReattachesAndInflatesMiddle(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	// Find an East-Asian prefix.
+	var victim netmodel.PrefixID = -1
+	for _, p := range w.Prefixes {
+		if w.PrefixRegion(p.ID) == netmodel.RegionEastAsia {
+			victim = p.ID
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no East-Asian prefix")
+	}
+	target := w.CloudsInRegion(netmodel.RegionUSA)[0]
+	f := faults.Fault{
+		Kind: faults.TrafficShift, Cloud: target, ShiftPrefixes: []netmodel.PrefixID{victim},
+		Start: 10, Duration: 5, ExtraMS: 40,
+	}
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := New(w, tbl, faults.NewSchedule([]faults.Fault{f}), DefaultConfig(99))
+
+	// During the shift the prefix connects only to the US location.
+	obs := s.ObservationsAt(12, nil)
+	for _, o := range obs {
+		if o.Prefix == victim && o.Cloud != target {
+			t.Fatal("shifted prefix still observed at home cloud")
+		}
+	}
+	// And its dominant inflation on that pair is the middle segment.
+	inf := s.DominantInflation(victim, target, 12)
+	if inf.Segment != netmodel.SegMiddle {
+		t.Errorf("shift inflation = %+v, want middle", inf)
+	}
+	// RTT through the shifted pair must be far above the prefix's home RTT.
+	home := w.Attachments(victim)[0].Cloud
+	if s.MeanRTT(victim, target, 12) < s.MeanRTT(victim, home, 9)+50 {
+		t.Error("shift did not raise the client's experienced RTT substantially")
+	}
+}
+
+func TestContributionsSumToMeanRTT(t *testing.T) {
+	r := newRig(t, nil, 1)
+	p := r.w.Prefixes[5]
+	c := r.w.Attachments(p.ID)[0].Cloud
+	var sum float64
+	for _, con := range r.sim.Contributions(p.ID, c, 33) {
+		sum += con.MS
+	}
+	if math.Abs(sum-r.sim.MeanRTT(p.ID, c, 33)) > 1e-9 {
+		t.Error("contributions do not sum to MeanRTT")
+	}
+}
+
+func BenchmarkObservationsAt(b *testing.B) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.ChurnConfig{}, netmodel.BucketsPerDay, 7)
+	s := New(w, tbl, faults.NewSchedule(nil), DefaultConfig(99))
+	var buf []Observation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.ObservationsAt(netmodel.Bucket(i%netmodel.BucketsPerDay), buf[:0])
+	}
+}
+
+func TestSamplesAtRoundTripsThroughAggregation(t *testing.T) {
+	r := newRig(t, nil, 1)
+	b := netmodel.Bucket(20 * netmodel.BucketsPerHour)
+	raw := r.sim.SamplesAt(b, nil)
+	if len(raw) == 0 {
+		t.Fatal("no samples")
+	}
+	obs, dropped := trace.Aggregate(raw, func(base ipaddr.Addr) (netmodel.PrefixID, bool) {
+		return r.w.ResolvePrefix(uint32(base))
+	})
+	if dropped != 0 {
+		t.Fatalf("dropped %d samples", dropped)
+	}
+	direct := r.sim.ObservationsAt(b, nil)
+	if len(obs) != len(direct) {
+		t.Fatalf("aggregated %d quartets, direct %d", len(obs), len(direct))
+	}
+	// Index direct observations and compare counts and approximate means.
+	type key struct {
+		p netmodel.PrefixID
+		c netmodel.CloudID
+	}
+	byKey := make(map[key]trace.Observation)
+	for _, o := range direct {
+		byKey[key{o.Prefix, o.Cloud}] = o
+	}
+	for _, o := range obs {
+		d, ok := byKey[key{o.Prefix, o.Cloud}]
+		if !ok {
+			t.Fatal("aggregated quartet missing from direct stream")
+		}
+		if o.Samples != d.Samples {
+			t.Fatalf("sample count mismatch: %d vs %d", o.Samples, d.Samples)
+		}
+		// Per-sample noise averages out: the aggregated mean stays near the
+		// quartet mean.
+		if math.Abs(o.MeanRTT-d.MeanRTT)/d.MeanRTT > 0.2 {
+			t.Fatalf("aggregated mean %.1f far from quartet mean %.1f", o.MeanRTT, d.MeanRTT)
+		}
+	}
+}
+
+func TestResolvePrefixCoversAllPrefixes(t *testing.T) {
+	r := newRig(t, nil, 1)
+	for _, p := range r.w.Prefixes {
+		got, ok := r.w.ResolvePrefix(p.Base)
+		if !ok || got != p.ID {
+			t.Fatalf("ResolvePrefix(%08x) = %v,%v want %v", p.Base, got, ok, p.ID)
+		}
+	}
+	if _, ok := r.w.ResolvePrefix(0xDEADBEEF); ok {
+		t.Error("unknown base resolved")
+	}
+}

@@ -1,0 +1,296 @@
+// Package stats implements the statistical primitives the reproduction
+// relies on: order statistics, empirical CDFs, the two-sample
+// Kolmogorov–Smirnov test used to validate quartet homogeneity (§2.1 of the
+// paper), streaming summaries, and the heavy-tailed random distributions
+// that drive the fault model.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs without modifying it, or 0 for an empty
+// slice.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q'th empirical quantile of xs (q in [0,1]) using
+// linear interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return sortedQuantile(s, q)
+}
+
+// sortedQuantile computes a quantile over an already-sorted slice.
+func sortedQuantile(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean               float64
+	Min, Max           float64
+	P10, P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:    len(s),
+		Mean: Mean(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		P10:  sortedQuantile(s, 0.10),
+		P50:  sortedQuantile(s, 0.50),
+		P90:  sortedQuantile(s, 0.90),
+		P99:  sortedQuantile(s, 0.99),
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.2f p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.N, s.Mean, s.Min, s.P10, s.P50, s.P90, s.P99, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (which it copies).
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// N returns the sample size underlying the CDF.
+func (c CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q'th quantile of the sample.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return sortedQuantile(c.sorted, q)
+}
+
+// Points samples the CDF at n evenly spaced quantiles, returning (value,
+// cumulative probability) pairs suitable for rendering figure series.
+func (c CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out[i] = [2]float64{sortedQuantile(c.sorted, q), q}
+	}
+	return out
+}
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		x := sa[i]
+		if sb[j] < x {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSSameDistribution applies the two-sample K-S test at significance level
+// alpha and reports whether the null hypothesis (same distribution) is NOT
+// rejected. This mirrors the paper's validation that the two random halves
+// of a quartet's RTT samples come from one distribution.
+func KSSameDistribution(a, b []float64, alpha float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return true
+	}
+	d := KSStatistic(a, b)
+	// c(alpha) for the large-sample critical value sqrt(-ln(alpha/2)/2).
+	cAlpha := math.Sqrt(-math.Log(alpha/2) / 2)
+	n, m := float64(len(a)), float64(len(b))
+	crit := cAlpha * math.Sqrt((n+m)/(n*m))
+	return d <= crit
+}
+
+// Histogram counts values into fixed-width bins over [min, max); values
+// outside the range are clamped into the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n bins spanning [min, max). It
+// panics when n <= 0 or max <= min, which indicates a caller bug.
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Welford implements a numerically stable streaming mean/variance
+// accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the running sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// BoundedPareto draws from a bounded Pareto distribution with shape alpha on
+// [lo, hi]. The paper's badness durations are long-tailed (§2.3); this is
+// the generator behind them.
+func BoundedPareto(r *rand.Rand, alpha, lo, hi float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// LogNormal draws from a log-normal distribution parameterized by the
+// location mu and scale sigma of the underlying normal.
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

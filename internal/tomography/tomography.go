@@ -1,0 +1,242 @@
+// Package tomography implements the classical network-tomography baselines
+// that §4.1 of the paper shows to be infeasible at BlameIt's granularity:
+// the linear formulation (whose rank deficiency leaves individual segment
+// latencies unidentifiable even without noise) and boolean tomography
+// (whose minimal-explanation sets stay ambiguous).
+package tomography
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// System is a linear system A·x = d over named unknowns.
+type System struct {
+	A     [][]float64
+	D     []float64
+	Names []string
+}
+
+// Unknowns returns the number of variables.
+func (s *System) Unknowns() int { return len(s.Names) }
+
+// Equations returns the number of equations.
+func (s *System) Equations() int { return len(s.A) }
+
+// BuildTwoCloudSystem constructs the exact §4.1 counterexample: two cloud
+// locations c1, c2 with middle segments m1, m2 serving k client prefixes
+// p1..pk, yielding 2k delay equations l_ci + l_mi + l_pj = d_ij over k+4
+// unknowns. The supplied ground-truth latencies generate the (noise-free)
+// measurements.
+func BuildTwoCloudSystem(lc1, lc2, lm1, lm2 float64, lp []float64) *System {
+	k := len(lp)
+	s := &System{Names: make([]string, 0, k+4)}
+	s.Names = append(s.Names, "lc1", "lc2", "lm1", "lm2")
+	for j := range lp {
+		s.Names = append(s.Names, fmt.Sprintf("lp%d", j+1))
+	}
+	addEq := func(ci int, lci, lmi float64, j int) {
+		row := make([]float64, k+4)
+		row[ci] = 1   // lc_i
+		row[2+ci] = 1 // lm_i
+		row[4+j] = 1  // lp_j
+		s.A = append(s.A, row)
+		s.D = append(s.D, lci+lmi+lp[j])
+	}
+	for j := 0; j < k; j++ {
+		addEq(0, lc1, lm1, j)
+	}
+	for j := 0; j < k; j++ {
+		addEq(1, lc2, lm2, j)
+	}
+	return s
+}
+
+// rankOf computes the rank of a matrix by Gaussian elimination with
+// partial pivoting.
+func rankOf(m [][]float64) int {
+	if len(m) == 0 {
+		return 0
+	}
+	rows := make([][]float64, len(m))
+	for i, r := range m {
+		rows[i] = append([]float64(nil), r...)
+	}
+	cols := len(rows[0])
+	rank := 0
+	for col := 0; col < cols && rank < len(rows); col++ {
+		// Find pivot.
+		pivot := -1
+		best := 1e-9
+		for r := rank; r < len(rows); r++ {
+			if v := math.Abs(rows[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		pv := rows[rank][col]
+		for r := rank + 1; r < len(rows); r++ {
+			f := rows[r][col] / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < cols; c++ {
+				rows[r][c] -= f * rows[rank][c]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Rank returns the rank of the coefficient matrix.
+func (s *System) Rank() int { return rankOf(s.A) }
+
+// Identifiable reports whether the linear functional target·x is uniquely
+// determined by the system, i.e. target lies in the row space of A.
+func (s *System) Identifiable(target []float64) bool {
+	if len(target) != s.Unknowns() {
+		return false
+	}
+	aug := make([][]float64, 0, len(s.A)+1)
+	aug = append(aug, s.A...)
+	aug = append(aug, target)
+	return rankOf(aug) == s.Rank()
+}
+
+// Unit returns the target functional selecting a single named unknown.
+func (s *System) Unit(name string) []float64 {
+	t := make([]float64, s.Unknowns())
+	for i, n := range s.Names {
+		if n == name {
+			t[i] = 1
+		}
+	}
+	return t
+}
+
+// BoolInstance is a boolean-tomography instance: a path is good only if
+// every one of its segments is good.
+type BoolInstance struct {
+	NumSegments int
+	Paths       [][]int // segment indices per path
+	Bad         []bool  // per-path status
+}
+
+// Candidates returns the segments that could be bad: those not appearing
+// on any good path.
+func (bi *BoolInstance) Candidates() []int {
+	exonerated := make([]bool, bi.NumSegments)
+	for i, path := range bi.Paths {
+		if !bi.Bad[i] {
+			for _, seg := range path {
+				exonerated[seg] = true
+			}
+		}
+	}
+	var out []int
+	for seg := 0; seg < bi.NumSegments; seg++ {
+		if !exonerated[seg] {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// MinimalExplanations enumerates all minimal candidate sets (up to
+// maxSize) that cover every bad path. More than one minimal explanation
+// means the instance is ambiguous: boolean tomography cannot localize the
+// fault.
+func (bi *BoolInstance) MinimalExplanations(maxSize int) [][]int {
+	cands := bi.Candidates()
+	var badPaths [][]int
+	for i, path := range bi.Paths {
+		if bi.Bad[i] {
+			badPaths = append(badPaths, path)
+		}
+	}
+	if len(badPaths) == 0 {
+		return nil
+	}
+	var results [][]int
+	// Enumerate candidate subsets by increasing size; keep only covering
+	// sets that have no covering proper subset already found.
+	var subsets func(start int, cur []int, size int)
+	covers := func(set []int) bool {
+		for _, path := range badPaths {
+			hit := false
+			for _, seg := range path {
+				for _, s := range set {
+					if s == seg {
+						hit = true
+					}
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	isSuperset := func(set []int) bool {
+		for _, r := range results {
+			all := true
+			for _, s := range r {
+				found := false
+				for _, x := range set {
+					if x == s {
+						found = true
+					}
+				}
+				if !found {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	for size := 1; size <= maxSize && size <= len(cands); size++ {
+		subsets = func(start int, cur []int, left int) {
+			if left == 0 {
+				if !isSuperset(cur) && covers(cur) {
+					results = append(results, append([]int(nil), cur...))
+				}
+				return
+			}
+			for i := start; i <= len(cands)-left; i++ {
+				subsets(i+1, append(cur, cands[i]), left-1)
+			}
+		}
+		subsets(0, nil, size)
+	}
+	for _, r := range results {
+		sort.Ints(r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if len(results[i]) != len(results[j]) {
+			return len(results[i]) < len(results[j])
+		}
+		for k := range results[i] {
+			if results[i][k] != results[j][k] {
+				return results[i][k] < results[j][k]
+			}
+		}
+		return false
+	})
+	return results
+}
+
+// Ambiguous reports whether boolean tomography yields more than one
+// minimal explanation.
+func (bi *BoolInstance) Ambiguous(maxSize int) bool {
+	return len(bi.MinimalExplanations(maxSize)) > 1
+}

@@ -1,0 +1,169 @@
+package tomography
+
+import (
+	"testing"
+)
+
+func buildExample(k int) *System {
+	lp := make([]float64, k)
+	for i := range lp {
+		lp[i] = 10 + float64(i)
+	}
+	return BuildTwoCloudSystem(3, 4, 7, 8, lp)
+}
+
+func TestSystemShape(t *testing.T) {
+	k := 6
+	s := buildExample(k)
+	if s.Unknowns() != k+4 {
+		t.Errorf("unknowns = %d, want %d", s.Unknowns(), k+4)
+	}
+	if s.Equations() != 2*k {
+		t.Errorf("equations = %d, want %d", s.Equations(), 2*k)
+	}
+}
+
+// TestRankDeficiency reproduces the §4.1 argument: 2k equations over k+4
+// unknowns still leave the system rank-deficient, so individual segment
+// latencies cannot be inferred. The rank is exactly k+1: the lc_i and lm_i
+// columns coincide (they always appear together), collapsing the four
+// cloud/middle unknowns into the two composites the paper derives.
+func TestRankDeficiency(t *testing.T) {
+	for _, k := range []int{3, 5, 10} {
+		s := buildExample(k)
+		if got := s.Rank(); got != k+1 {
+			t.Errorf("k=%d: rank = %d, want %d", k, got, k+1)
+		}
+		if got := s.Rank(); got >= s.Unknowns() {
+			t.Errorf("k=%d: system unexpectedly full-rank", k)
+		}
+	}
+}
+
+func TestIndividualLatenciesUnidentifiable(t *testing.T) {
+	s := buildExample(5)
+	for _, name := range []string{"lc1", "lc2", "lm1", "lm2", "lp1", "lp3"} {
+		if s.Identifiable(s.Unit(name)) {
+			t.Errorf("%s should be unidentifiable", name)
+		}
+	}
+}
+
+// TestCompositesIdentifiable checks the two composite expressions the
+// paper derives as the only solvable quantities: lc1+lm1−lc2−lm2 and
+// lp_s−lp_t.
+func TestCompositesIdentifiable(t *testing.T) {
+	s := buildExample(5)
+	comp := make([]float64, s.Unknowns())
+	comp[0], comp[2], comp[1], comp[3] = 1, 1, -1, -1 // lc1+lm1-lc2-lm2
+	if !s.Identifiable(comp) {
+		t.Error("lc1+lm1-lc2-lm2 should be identifiable")
+	}
+	diff := make([]float64, s.Unknowns())
+	diff[4], diff[6] = 1, -1 // lp1 - lp3
+	if !s.Identifiable(diff) {
+		t.Error("lp1-lp3 should be identifiable")
+	}
+	// Per-path sums are identifiable too (they are the measurements).
+	sum := make([]float64, s.Unknowns())
+	sum[0], sum[2], sum[4] = 1, 1, 1
+	if !s.Identifiable(sum) {
+		t.Error("lc1+lm1+lp1 should be identifiable")
+	}
+}
+
+func TestIdentifiableRejectsWrongLength(t *testing.T) {
+	s := buildExample(3)
+	if s.Identifiable([]float64{1}) {
+		t.Error("wrong-length target accepted")
+	}
+}
+
+func TestBooleanCandidates(t *testing.T) {
+	// Segments: 0=cloud, 1=m1, 2=m2, 3..5=clients.
+	bi := &BoolInstance{
+		NumSegments: 6,
+		Paths: [][]int{
+			{0, 1, 3}, // bad
+			{0, 1, 4}, // bad
+			{0, 2, 5}, // good -> exonerates 0, 2, 5
+		},
+		Bad: []bool{true, true, false},
+	}
+	cands := bi.Candidates()
+	want := map[int]bool{1: true, 3: true, 4: true}
+	if len(cands) != len(want) {
+		t.Fatalf("candidates = %v", cands)
+	}
+	for _, c := range cands {
+		if !want[c] {
+			t.Errorf("unexpected candidate %d", c)
+		}
+	}
+}
+
+func TestBooleanUnambiguousCase(t *testing.T) {
+	// Good path exonerates everything except m1: unique explanation.
+	bi := &BoolInstance{
+		NumSegments: 5,
+		Paths: [][]int{
+			{0, 1, 3}, // bad
+			{0, 2, 3}, // good
+			{0, 1, 4}, // bad
+			{0, 2, 4}, // good
+		},
+		Bad: []bool{true, false, true, false},
+	}
+	exps := bi.MinimalExplanations(3)
+	if len(exps) != 1 || len(exps[0]) != 1 || exps[0][0] != 1 {
+		t.Errorf("explanations = %v, want [[1]]", exps)
+	}
+	if bi.Ambiguous(3) {
+		t.Error("unambiguous instance reported ambiguous")
+	}
+}
+
+// TestBooleanAmbiguousCase shows the ambiguity §4.1 refers to: without
+// good-path coverage, several minimal explanations remain.
+func TestBooleanAmbiguousCase(t *testing.T) {
+	// One bad path, no good paths: every segment on it is a minimal
+	// explanation.
+	bi := &BoolInstance{
+		NumSegments: 3,
+		Paths:       [][]int{{0, 1, 2}},
+		Bad:         []bool{true},
+	}
+	exps := bi.MinimalExplanations(2)
+	if len(exps) != 3 {
+		t.Errorf("explanations = %v, want 3 singletons", exps)
+	}
+	if !bi.Ambiguous(2) {
+		t.Error("ambiguous instance not reported")
+	}
+}
+
+func TestBooleanMinimality(t *testing.T) {
+	// Two disjoint bad paths need a pair; no singleton covers both, and
+	// supersets of valid pairs must not be reported.
+	bi := &BoolInstance{
+		NumSegments: 4,
+		Paths:       [][]int{{0, 1}, {2, 3}},
+		Bad:         []bool{true, true},
+	}
+	exps := bi.MinimalExplanations(3)
+	for _, e := range exps {
+		if len(e) != 2 {
+			t.Errorf("non-minimal explanation %v", e)
+		}
+	}
+	if len(exps) != 4 {
+		t.Errorf("want 4 minimal pairs, got %v", exps)
+	}
+}
+
+func TestBooleanNoBadPaths(t *testing.T) {
+	bi := &BoolInstance{NumSegments: 2, Paths: [][]int{{0}, {1}}, Bad: []bool{false, false}}
+	if exps := bi.MinimalExplanations(2); exps != nil {
+		t.Errorf("healthy instance produced explanations %v", exps)
+	}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"blameit/internal/ipaddr"
+	"blameit/internal/netmodel"
+)
+
+// Sample is one raw TCP-handshake RTT record as a cloud server logs it: a
+// single connection's client address, edge location, time, and measured
+// handshake RTT. Production collects hundreds of billions of these per
+// day; quartet aggregation turns them into Observations.
+type Sample struct {
+	Client ipaddr.Addr          `json:"client_ip"`
+	Cloud  netmodel.CloudID     `json:"cloud"`
+	Device netmodel.DeviceClass `json:"device"`
+	Bucket netmodel.Bucket      `json:"bucket"`
+	RTTms  float64              `json:"rtt_ms"`
+}
+
+// Block24 returns the sample's client /24 block base address.
+func (s Sample) Block24() ipaddr.Addr {
+	return ipaddr.Block24(s.Client).Base
+}
+
+// PrefixResolver maps a client /24 base address back to its PrefixID
+// (the production system uses longest-prefix matching against the BGP
+// table; the synthetic world has an exact /24 index).
+type PrefixResolver func(block ipaddr.Addr) (netmodel.PrefixID, bool)
+
+// Aggregate folds raw samples into quartet-level observations — the
+// ⟨client /24, cloud, device, 5-minute bucket⟩ aggregation of §2.1. The
+// average is the arithmetic mean of the handshake RTTs; distinct client
+// addresses are counted per quartet. Samples whose /24 does not resolve
+// are dropped (and counted in the returned drop count), as the production
+// join does with unroutable clients.
+func Aggregate(samples []Sample, resolve PrefixResolver) (obs []Observation, dropped int) {
+	type key struct {
+		p netmodel.PrefixID
+		c netmodel.CloudID
+		d netmodel.DeviceClass
+		b netmodel.Bucket
+	}
+	type agg struct {
+		sum     float64
+		n       int
+		clients map[ipaddr.Addr]struct{}
+	}
+	byKey := make(map[key]*agg)
+	var order []key
+	for _, s := range samples {
+		pid, ok := resolve(s.Block24())
+		if !ok {
+			dropped++
+			continue
+		}
+		k := key{pid, s.Cloud, s.Device, s.Bucket}
+		a, ok := byKey[k]
+		if !ok {
+			a = &agg{clients: make(map[ipaddr.Addr]struct{})}
+			byKey[k] = a
+			order = append(order, k)
+		}
+		a.sum += s.RTTms
+		a.n++
+		a.clients[s.Client] = struct{}{}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		return a.d < b.d
+	})
+	obs = make([]Observation, 0, len(order))
+	for _, k := range order {
+		a := byKey[k]
+		obs = append(obs, Observation{
+			Prefix:  k.p,
+			Cloud:   k.c,
+			Device:  k.d,
+			Bucket:  k.b,
+			Samples: a.n,
+			MeanRTT: a.sum / float64(a.n),
+			Clients: len(a.clients),
+		})
+	}
+	return obs, dropped
+}
+
+// ExpandSamples fabricates the raw sample stream behind a quartet-level
+// observation: Samples handshakes spread over Clients distinct addresses
+// inside the /24, each with the observation's mean RTT (per-sample spread
+// is the simulator's concern; Expand/Aggregate must round-trip). base is
+// the /24's base address.
+func ExpandSamples(o Observation, base ipaddr.Addr) []Sample {
+	if o.Samples <= 0 {
+		return nil
+	}
+	clients := o.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > 254 {
+		clients = 254
+	}
+	out := make([]Sample, o.Samples)
+	for i := range out {
+		host := byte(1 + i%clients)
+		out[i] = Sample{
+			Client: base | ipaddr.Addr(host),
+			Cloud:  o.Cloud,
+			Device: o.Device,
+			Bucket: o.Bucket,
+			RTTms:  o.MeanRTT,
+		}
+	}
+	return out
+}
+
+// ValidateQuartet applies the paper's §2.1 sanity check to one quartet's
+// raw RTT samples: split them in half at random positions and require the
+// two-sample Kolmogorov–Smirnov test not to reject that the halves share a
+// distribution. It returns an error describing the failure, or nil.
+type KSFunc func(a, b []float64, alpha float64) bool
+
+// SplitHalves partitions xs into two deterministic interleaved halves
+// (even and odd positions), the stand-in for the paper's random split.
+func SplitHalves(xs []float64) (a, b []float64) {
+	for i, x := range xs {
+		if i%2 == 0 {
+			a = append(a, x)
+		} else {
+			b = append(b, x)
+		}
+	}
+	return a, b
+}
+
+// ValidateQuartetSamples checks quartet homogeneity with the provided K-S
+// test at significance alpha.
+func ValidateQuartetSamples(rtts []float64, ks KSFunc, alpha float64) error {
+	if len(rtts) < 4 {
+		return nil // too few samples to split meaningfully
+	}
+	a, b := SplitHalves(rtts)
+	if !ks(a, b, alpha) {
+		return fmt.Errorf("trace: quartet halves fail the K-S test at alpha=%v", alpha)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blameit/internal/ipaddr"
+	"blameit/internal/netmodel"
+	"blameit/internal/stats"
+)
+
+// resolver maps /24 base addresses to sequential prefix ids.
+func testResolver(known map[ipaddr.Addr]netmodel.PrefixID) PrefixResolver {
+	return func(block ipaddr.Addr) (netmodel.PrefixID, bool) {
+		p, ok := known[block]
+		return p, ok
+	}
+}
+
+func TestAggregateBasic(t *testing.T) {
+	base := ipaddr.Make(10, 1, 2, 0)
+	res := testResolver(map[ipaddr.Addr]netmodel.PrefixID{base: 7})
+	samples := []Sample{
+		{Client: base | 1, Cloud: 3, Device: netmodel.NonMobile, Bucket: 5, RTTms: 40},
+		{Client: base | 2, Cloud: 3, Device: netmodel.NonMobile, Bucket: 5, RTTms: 60},
+		{Client: base | 1, Cloud: 3, Device: netmodel.NonMobile, Bucket: 5, RTTms: 50},
+	}
+	obs, dropped := Aggregate(samples, res)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	o := obs[0]
+	if o.Prefix != 7 || o.Cloud != 3 || o.Bucket != 5 {
+		t.Errorf("key fields wrong: %+v", o)
+	}
+	if o.Samples != 3 || o.Clients != 2 {
+		t.Errorf("counts wrong: samples=%d clients=%d", o.Samples, o.Clients)
+	}
+	if math.Abs(o.MeanRTT-50) > 1e-9 {
+		t.Errorf("mean = %v", o.MeanRTT)
+	}
+}
+
+func TestAggregateSplitsKeys(t *testing.T) {
+	b1 := ipaddr.Make(10, 1, 2, 0)
+	b2 := ipaddr.Make(10, 1, 3, 0)
+	res := testResolver(map[ipaddr.Addr]netmodel.PrefixID{b1: 1, b2: 2})
+	samples := []Sample{
+		{Client: b1 | 1, Cloud: 0, Device: netmodel.NonMobile, Bucket: 5, RTTms: 10},
+		{Client: b2 | 1, Cloud: 0, Device: netmodel.NonMobile, Bucket: 5, RTTms: 20}, // other prefix
+		{Client: b1 | 1, Cloud: 1, Device: netmodel.NonMobile, Bucket: 5, RTTms: 30}, // other cloud
+		{Client: b1 | 1, Cloud: 0, Device: netmodel.Mobile, Bucket: 5, RTTms: 40},    // other device
+		{Client: b1 | 1, Cloud: 0, Device: netmodel.NonMobile, Bucket: 6, RTTms: 50}, // other bucket
+	}
+	obs, _ := Aggregate(samples, res)
+	if len(obs) != 5 {
+		t.Fatalf("observations = %d, want 5 distinct quartets", len(obs))
+	}
+}
+
+func TestAggregateDropsUnresolved(t *testing.T) {
+	res := testResolver(nil)
+	obs, dropped := Aggregate([]Sample{{Client: ipaddr.Make(9, 9, 9, 9), RTTms: 10}}, res)
+	if len(obs) != 0 || dropped != 1 {
+		t.Fatalf("obs=%d dropped=%d", len(obs), dropped)
+	}
+}
+
+func TestAggregateDeterministicOrder(t *testing.T) {
+	b1 := ipaddr.Make(10, 1, 2, 0)
+	b2 := ipaddr.Make(10, 1, 3, 0)
+	res := testResolver(map[ipaddr.Addr]netmodel.PrefixID{b1: 1, b2: 2})
+	samples := []Sample{
+		{Client: b2 | 1, Cloud: 0, Bucket: 7, RTTms: 10},
+		{Client: b1 | 1, Cloud: 0, Bucket: 7, RTTms: 10},
+		{Client: b1 | 1, Cloud: 0, Bucket: 6, RTTms: 10},
+	}
+	obs, _ := Aggregate(samples, res)
+	if obs[0].Bucket != 6 || obs[1].Prefix != 1 || obs[2].Prefix != 2 {
+		t.Errorf("aggregation order not canonical: %+v", obs)
+	}
+}
+
+func TestExpandAggregateRoundTrip(t *testing.T) {
+	base := ipaddr.Make(172, 16, 9, 0)
+	res := testResolver(map[ipaddr.Addr]netmodel.PrefixID{base: 4})
+	f := func(samples uint8, clients uint8, rttSeed uint16) bool {
+		o := Observation{
+			Prefix: 4, Cloud: 2, Device: netmodel.WiFi, Bucket: 11,
+			Samples: 1 + int(samples)%100,
+			Clients: 1 + int(clients)%50,
+			MeanRTT: 1 + float64(rttSeed)/100,
+		}
+		if o.Clients > o.Samples {
+			o.Clients = o.Samples
+		}
+		raw := ExpandSamples(o, base)
+		back, dropped := Aggregate(raw, res)
+		if dropped != 0 || len(back) != 1 {
+			return false
+		}
+		g := back[0]
+		return g.Prefix == o.Prefix && g.Cloud == o.Cloud && g.Device == o.Device &&
+			g.Bucket == o.Bucket && g.Samples == o.Samples && g.Clients == o.Clients &&
+			math.Abs(g.MeanRTT-o.MeanRTT) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandSamplesEdges(t *testing.T) {
+	if got := ExpandSamples(Observation{Samples: 0}, 0); got != nil {
+		t.Error("zero samples must expand to nil")
+	}
+	// More clients than hosts in a /24 clamps to 254.
+	o := Observation{Samples: 300, Clients: 300, MeanRTT: 5}
+	raw := ExpandSamples(o, ipaddr.Make(10, 0, 0, 0))
+	hosts := make(map[ipaddr.Addr]bool)
+	for _, s := range raw {
+		hosts[s.Client] = true
+	}
+	if len(hosts) != 254 {
+		t.Errorf("distinct hosts = %d, want clamp at 254", len(hosts))
+	}
+}
+
+func TestSplitHalves(t *testing.T) {
+	a, b := SplitHalves([]float64{1, 2, 3, 4, 5})
+	if len(a) != 3 || len(b) != 2 {
+		t.Fatalf("split = %v / %v", a, b)
+	}
+	if a[0] != 1 || b[0] != 2 {
+		t.Error("interleaving wrong")
+	}
+}
+
+func TestValidateQuartetSamples(t *testing.T) {
+	same := make([]float64, 100)
+	for i := range same {
+		same[i] = 50 + float64(i%7)
+	}
+	if err := ValidateQuartetSamples(same, stats.KSSameDistribution, 0.01); err != nil {
+		t.Errorf("homogeneous quartet rejected: %v", err)
+	}
+	// A quartet whose halves come from different regimes must fail: the
+	// interleaved split preserves the difference when values alternate.
+	mixed := make([]float64, 100)
+	for i := range mixed {
+		if i%2 == 0 {
+			mixed[i] = 10
+		} else {
+			mixed[i] = 200
+		}
+	}
+	if err := ValidateQuartetSamples(mixed, stats.KSSameDistribution, 0.01); err == nil {
+		t.Error("bimodal alternating quartet accepted")
+	}
+	if err := ValidateQuartetSamples([]float64{1, 2}, stats.KSSameDistribution, 0.01); err != nil {
+		t.Error("tiny quartet must pass vacuously")
+	}
+}

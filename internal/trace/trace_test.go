@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blameit/internal/netmodel"
+)
+
+func sampleObs() []Observation {
+	return []Observation{
+		{Prefix: 1, Cloud: 2, Device: netmodel.Mobile, Bucket: 10, Samples: 25, MeanRTT: 48.5, Clients: 9},
+		{Prefix: 3, Cloud: 0, Device: netmodel.NonMobile, Bucket: 11, Samples: 80, MeanRTT: 22.1, Clients: 30},
+		{Prefix: 7, Cloud: 2, Device: netmodel.NonMobile, Bucket: 12, Samples: 12, MeanRTT: 105.0, Clients: 4},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	obs := sampleObs()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("round trip returned %d records", len(got))
+	}
+	for i := range obs {
+		if got[i] != obs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], obs[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"prefix\": }\n")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	obs := sampleObs()
+	rtts, clients := Split(obs)
+	if len(rtts) != len(obs) || len(clients) != len(obs) {
+		t.Fatal("split sizes wrong")
+	}
+	joined := Join(rtts, clients)
+	if len(joined) != len(obs) {
+		t.Fatalf("join returned %d records", len(joined))
+	}
+	for i := range obs {
+		if joined[i] != obs[i] {
+			t.Errorf("record %d mismatch after split/join", i)
+		}
+	}
+}
+
+func TestJoinDropsOrphans(t *testing.T) {
+	obs := sampleObs()
+	rtts, clients := Split(obs)
+	joined := Join(rtts, clients[:1]) // only first client record survives
+	if len(joined) != 1 {
+		t.Fatalf("join with orphans returned %d records", len(joined))
+	}
+	if joined[0] != obs[0] {
+		t.Error("wrong record survived the join")
+	}
+}
+
+func TestStoreReadWindow(t *testing.T) {
+	s := NewStore(4)
+	var obs []Observation
+	// Two hours of records, one per bucket.
+	for b := netmodel.Bucket(0); b < 2*netmodel.BucketsPerHour; b++ {
+		obs = append(obs, Observation{Prefix: netmodel.PrefixID(b), Bucket: b, Samples: 10, MeanRTT: 1})
+	}
+	s.Write(obs)
+	got := s.ReadWindow(3, 6)
+	if len(got) != 3 {
+		t.Fatalf("window [3,6) returned %d records", len(got))
+	}
+	for _, o := range got {
+		if o.Bucket < 3 || o.Bucket >= 6 {
+			t.Errorf("record outside window: bucket %d", o.Bucket)
+		}
+	}
+}
+
+func TestStoreScansWholeHour(t *testing.T) {
+	// The §6.1 quirk: reading 15 minutes requires scanning every storage
+	// bucket of the hour.
+	s := NewStore(8)
+	var obs []Observation
+	for b := netmodel.Bucket(0); b < netmodel.BucketsPerHour; b++ {
+		for p := 0; p < 10; p++ {
+			obs = append(obs, Observation{Prefix: netmodel.PrefixID(p), Bucket: b, Samples: 10, MeanRTT: 1})
+		}
+	}
+	s.Write(obs)
+	before := s.ScannedBuckets()
+	s.ReadWindow(0, 3) // just 15 minutes
+	if scanned := s.ScannedBuckets() - before; scanned != 8 {
+		t.Errorf("15-minute read scanned %d storage buckets, want all 8", scanned)
+	}
+}
+
+func TestStoreWindowAcrossHours(t *testing.T) {
+	s := NewStore(4)
+	var obs []Observation
+	for b := netmodel.Bucket(0); b < 3*netmodel.BucketsPerHour; b++ {
+		obs = append(obs, Observation{Prefix: 1, Bucket: b, Samples: 10, MeanRTT: 1})
+	}
+	s.Write(obs)
+	got := s.ReadWindow(10, 26) // spans hours 0, 1, 2
+	if len(got) != 16 {
+		t.Fatalf("cross-hour window returned %d records, want 16", len(got))
+	}
+}
+
+func TestStoreEmptyWindow(t *testing.T) {
+	s := NewStore(4)
+	if got := s.ReadWindow(0, 12); len(got) != 0 {
+		t.Errorf("empty store returned %d records", len(got))
+	}
+}
+
+func TestNewStoreDefaultSize(t *testing.T) {
+	s := NewStore(0)
+	s.Write([]Observation{{Prefix: 1, Bucket: 1, Samples: 10, MeanRTT: 1}})
+	if got := s.ReadWindow(0, 12); len(got) != 1 {
+		t.Error("default-size store lost a record")
+	}
+}
+
+func TestFinerWindowsCutScanCost(t *testing.T) {
+	// §6.1 follow-up: with 15-minute ingestion windows, the 15-minute job
+	// scans far fewer storage buckets than with the hourly layout.
+	mkObs := func() []Observation {
+		var obs []Observation
+		for b := netmodel.Bucket(0); b < netmodel.BucketsPerHour; b++ {
+			for p := 0; p < 10; p++ {
+				obs = append(obs, Observation{Prefix: netmodel.PrefixID(p), Bucket: b, Samples: 10, MeanRTT: 1})
+			}
+		}
+		return obs
+	}
+	hourly := NewStoreWindow(8, netmodel.BucketsPerHour)
+	hourly.Write(mkObs())
+	fine := NewStoreWindow(8, 3) // 15-minute ingestion windows
+	fine.Write(mkObs())
+
+	a := hourly.ReadWindow(0, 3)
+	b := fine.ReadWindow(0, 3)
+	if len(a) != len(b) {
+		t.Fatalf("layouts disagree on results: %d vs %d", len(a), len(b))
+	}
+	// The hourly layout filters through the full hour's records (12
+	// buckets' worth) to answer a 15-minute query; the fine layout only
+	// touches the one ingestion window that matters.
+	if hourly.ScannedRecords() != 120 {
+		t.Errorf("hourly layout scanned %d records, want the whole hour (120)", hourly.ScannedRecords())
+	}
+	if fine.ScannedRecords() != 30 {
+		t.Errorf("fine layout scanned %d records, want one window (30)", fine.ScannedRecords())
+	}
+}
+
+func TestStoreWindowCrossBoundary(t *testing.T) {
+	s := NewStoreWindow(4, 3)
+	var obs []Observation
+	for b := netmodel.Bucket(0); b < 12; b++ {
+		obs = append(obs, Observation{Prefix: 1, Bucket: b, Samples: 10, MeanRTT: 1})
+	}
+	s.Write(obs)
+	got := s.ReadWindow(2, 8) // spans windows 0, 1, 2
+	if len(got) != 6 {
+		t.Fatalf("cross-window read returned %d records, want 6", len(got))
+	}
+}
