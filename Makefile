@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-parallel verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages that fan work out across goroutines (sharded observation
+# generation, the parallel Algorithm 1 job) plus the localizer they call
+# concurrently, under the race detector.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/...
+
+# Sequential-vs-parallel full-day pipeline pair; on an N-core machine the
+# parallel variant should approach N x (output is identical either way).
+bench-parallel:
+	$(GO) test -run NONE -bench 'BenchmarkPipeline(Sequential|Parallel)$$' -benchtime 3x .
+
+# The gate every change must pass: static checks, full build, full test
+# suite, and the race-detector pass over the concurrent packages.
+verify: vet build test race

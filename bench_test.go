@@ -428,6 +428,32 @@ func BenchmarkPipelineDay(b *testing.B) {
 	}
 }
 
+// benchPipelineFullDay drives one warmup day plus one full evaluated day
+// through a fresh pipeline at the given worker count. The environment is
+// built once outside the timer and the simulator's fan-out is flipped per
+// run; output is byte-identical at any worker count, so the sequential and
+// parallel benchmarks below perform exactly the same work.
+func benchPipelineFullDay(b *testing.B, workers int) {
+	e := benchEnv(2, true)
+	e.Sim.SetWorkers(workers)
+	cfg := pipeline.DefaultConfig()
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := e.NewPipeline(cfg)
+		p.Warmup(0, netmodel.BucketsPerDay)
+		p.Run(netmodel.BucketsPerDay, 2*netmodel.BucketsPerDay, nil)
+	}
+}
+
+// BenchmarkPipelineSequential is the single-goroutine reference for the
+// full-day pipeline window (Workers=1 everywhere).
+func BenchmarkPipelineSequential(b *testing.B) { benchPipelineFullDay(b, 1) }
+
+// BenchmarkPipelineParallel runs the same full-day window with the default
+// fan-out (all cores). Compare against BenchmarkPipelineSequential.
+func BenchmarkPipelineParallel(b *testing.B) { benchPipelineFullDay(b, 0) }
+
 // BenchmarkQuartetClassify measures the quartet classifier.
 func BenchmarkQuartetClassify(b *testing.B) {
 	o := trace.Observation{Prefix: 1, Cloud: 2, Samples: 30, MeanRTT: 55}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	blameit-experiments [-scale small|medium] [-seed N] [-run all|<ids>]
+//	                    [-workers N] [-time]
 //
 // where <ids> is a comma-separated subset of: table1, table2, fig2, fig3,
 // fig4a, fig4b, fig5, fig6, fig8, fig9, fig10, cases, battery, fig11,
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,8 +39,17 @@ func main() {
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		runList   = flag.String("run", "all", "comma-separated experiment ids or 'all'")
 		timing    = flag.Bool("time", false, "print per-experiment wall time")
+		workers   = flag.Int("workers", 0, "cap cores used by the runtime and the default worker pools (0 = all cores; results are identical at any setting)")
 	)
 	flag.Parse()
+
+	// Every Workers knob in the system defaults to runtime.GOMAXPROCS(0),
+	// so capping GOMAXPROCS bounds the fan-out of every environment the
+	// experiment runners construct — including the ones built internally
+	// by workload helpers. Determinism makes this purely a speed knob.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var scale topology.Scale
 	switch *scaleName {

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	blameit-tracegen [-scale small|medium|large] [-seed N] [-days N]
-//	                 [-faults random|none] [-level quartet|sample] [-o FILE]
+//	                 [-faults random|none] [-level quartet|sample]
+//	                 [-workers N] [-o FILE]
 //
 // At -level quartet (default) each line is one aggregated quartet
 // observation; at -level sample each line is one raw handshake record with
@@ -36,6 +37,7 @@ func main() {
 		days      = flag.Int("days", 1, "days of trace to generate")
 		workload  = flag.String("faults", "random", "fault workload: random or none")
 		level     = flag.String("level", "quartet", "record granularity: quartet or sample")
+		workers   = flag.Int("workers", 0, "goroutines for observation/sample generation (0 = all cores, 1 = sequential; output is identical either way)")
 		outFile   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -73,7 +75,9 @@ func main() {
 		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, *seed+1).Faults
 	}
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, *seed+2)
-	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(*seed+3))
+	scfg := sim.DefaultConfig(*seed + 3)
+	scfg.Workers = *workers
+	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 
 	var written int64
 	switch *level {

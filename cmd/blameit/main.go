@@ -6,7 +6,8 @@
 // Usage:
 //
 //	blameit [-scale small|medium|large] [-seed N] [-days N] [-warmup N]
-//	        [-workload random|cases|battery|none] [-budget N] [-top N] [-v]
+//	        [-workload random|cases|battery|none] [-budget N] [-top N]
+//	        [-workers N] [-v]
 package main
 
 import (
@@ -46,17 +47,18 @@ func main() {
 		workload  = flag.String("workload", "random", "fault workload: random, cases, battery or none")
 		budget    = flag.Int("budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
 		topN      = flag.Int("top", 5, "tickets to print per job run")
+		workers   = flag.Int("workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
 		verbose   = flag.Bool("v", false, "print every job run, not only runs with tickets")
 	)
 	flag.Parse()
 
-	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *verbose); err != nil {
+	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blameit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN int, verbose bool) error {
+func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN, workers int, verbose bool) error {
 	scale, err := scaleByName(scaleName)
 	if err != nil {
 		return err
@@ -94,10 +96,13 @@ func run(scaleName string, seed int64, days, warmup int, workload string, budget
 	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup\n\n", workload, len(fs), days, warmup)
 
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, seed+2)
-	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(seed+3))
+	scfg := sim.DefaultConfig(seed + 3)
+	scfg.Workers = workers
+	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 	cfg := pipeline.DefaultConfig()
 	cfg.BudgetPerCloudPerDay = budget
 	cfg.TopNAlerts = topN
+	cfg.Workers = workers
 	p := pipeline.New(s, cfg)
 
 	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", warmup)

@@ -111,6 +111,14 @@ type Result struct {
 type MiddleKeyFunc func(path netmodel.Path, p netmodel.PrefixID) netmodel.MiddleKey
 
 // Localizer runs Algorithm 1 over one time window of quartets.
+//
+// A Localizer is read-only once configured: Localize touches only local
+// aggregates plus the immutable cfg, thresholds, pathOf and keyOf fields,
+// so one Localizer may serve any number of concurrent Localize calls (the
+// pipeline fans a job's buckets out this way) provided the installed
+// PathFunc and MiddleKeyFunc are themselves safe for concurrent use — the
+// BGP table's path resolution is. SetMiddleKeyFunc is configuration, not
+// operation: call it before sharing the Localizer across goroutines.
 type Localizer struct {
 	cfg     Config
 	cloudAS netmodel.ASN
@@ -204,7 +212,10 @@ func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
 			ca = &aggregate{}
 			clouds[o.Cloud] = ca
 		}
-		ca.add(o.MeanRTT > l.expectedCloud(o.Cloud, o.Device, q.Target), o.Samples)
+		// Equality counts as bad, matching quartet.Classify's >= gate so
+		// the aggregate test and the per-quartet test agree at the
+		// threshold.
+		ca.add(o.MeanRTT >= l.expectedCloud(o.Cloud, o.Device, q.Target), o.Samples)
 		// Middle aggregate, keyed by the BGP path (or the override).
 		mk := l.keyOf(paths[i], o.Prefix)
 		ma := middles[mk]
@@ -212,7 +223,7 @@ func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
 			ma = &aggregate{}
 			middles[mk] = ma
 		}
-		ma.add(o.MeanRTT > l.expectedMiddle(mk, o.Device, q.Target), o.Samples)
+		ma.add(o.MeanRTT >= l.expectedMiddle(mk, o.Device, q.Target), o.Samples)
 		if !q.Bad {
 			goodClouds[o.Prefix] = append(goodClouds[o.Prefix], o.Cloud)
 		}
@@ -228,12 +239,14 @@ func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
 		res := Result{Q: q, Path: path}
 		mk := l.keyOf(path, o.Prefix)
 		switch {
-		case clouds[o.Cloud] == nil || clouds[o.Cloud].n <= l.cfg.MinAggregate:
+		// An aggregate with exactly MinAggregate quartets is decidable:
+		// Algorithm 1 requires "at least" MinAggregate (5) quartets.
+		case clouds[o.Cloud] == nil || clouds[o.Cloud].n < l.cfg.MinAggregate:
 			res.Blame = BlameInsufficient
 		case clouds[o.Cloud].badFraction(l.cfg.WeightBySamples) >= l.cfg.Tau:
 			res.Blame = BlameCloud
 			res.BlamedAS = l.cloudAS
-		case middles[mk] == nil || middles[mk].n <= l.cfg.MinAggregate:
+		case middles[mk] == nil || middles[mk].n < l.cfg.MinAggregate:
 			res.Blame = BlameInsufficient
 		case middles[mk].badFraction(l.cfg.WeightBySamples) >= l.cfg.Tau:
 			res.Blame = BlameMiddle

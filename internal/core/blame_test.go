@@ -196,6 +196,139 @@ func TestBlameInsufficientMiddleAggregate(t *testing.T) {
 	}
 }
 
+// TestExactlyMinAggregateCloudIsDecidable pins the Algorithm 1 gate at its
+// stated boundary: an aggregate with exactly MinAggregate (5) quartets is
+// enough to decide, one fewer is not. (Regression: the gate used to demand
+// MinAggregate+1.)
+func TestExactlyMinAggregateCloudIsDecidable(t *testing.T) {
+	build := func(n int) []Result {
+		paths := make(map[pcKey]netmodel.Path)
+		var qs []quartet.Quartet
+		for p := 0; p < n; p++ {
+			paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, netmodel.ASN(2000+p), netmodel.ASN(100+p))
+			qs = append(qs, mkQuartet(p, 1, 90, 50, 20))
+		}
+		th := StaticThresholds(map[netmodel.CloudID]float64{1: 40}, nil)
+		l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+		return l.Localize(qs)
+	}
+
+	min := DefaultConfig().MinAggregate // 5, per Algorithm 1
+	for _, r := range build(min) {
+		if r.Blame != BlameCloud {
+			t.Fatalf("exactly MinAggregate quartets: blame = %v, want cloud", r.Blame)
+		}
+	}
+	for _, r := range build(min - 1) {
+		if r.Blame != BlameInsufficient {
+			t.Fatalf("MinAggregate-1 quartets: blame = %v, want insufficient", r.Blame)
+		}
+	}
+}
+
+// TestExactlyMinAggregateMiddleIsDecidable pins the same boundary on the
+// middle aggregate.
+func TestExactlyMinAggregateMiddleIsDecidable(t *testing.T) {
+	build := func(onMiddle int) []Result {
+		paths := make(map[pcKey]netmodel.Path)
+		var qs []quartet.Quartet
+		// onMiddle bad quartets share the faulty middle 2001.
+		for p := 0; p < onMiddle; p++ {
+			paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+			qs = append(qs, mkQuartet(p, 1, 95, 50, 20))
+		}
+		// 30 good quartets elsewhere keep the cloud aggregate healthy.
+		for p := onMiddle; p < onMiddle+30; p++ {
+			paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2002, netmodel.ASN(100+p))
+			qs = append(qs, mkQuartet(p, 1, 30, 50, 20))
+		}
+		th := StaticThresholds(
+			map[netmodel.CloudID]float64{1: 35},
+			map[netmodel.MiddleKey]float64{
+				simplePath(1, 2001, 0).Key(): 38,
+				simplePath(1, 2002, 0).Key(): 38,
+			})
+		l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+		return l.Localize(qs)
+	}
+
+	min := DefaultConfig().MinAggregate
+	rs := build(min)
+	if len(rs) != min {
+		t.Fatalf("results = %d, want %d", len(rs), min)
+	}
+	for _, r := range rs {
+		if r.Blame != BlameMiddle {
+			t.Fatalf("exactly MinAggregate on the middle: blame = %v, want middle", r.Blame)
+		}
+	}
+	for _, r := range build(min - 1) {
+		if r.Blame != BlameInsufficient {
+			t.Fatalf("MinAggregate-1 on the middle: blame = %v, want insufficient", r.Blame)
+		}
+	}
+}
+
+// TestEqualityAtExpectedRTTCountsBad locks the unified >= convention: a
+// quartet whose mean RTT sits exactly at the learned expected RTT counts
+// as bad in the aggregate, the same way quartet.Classify counts a mean
+// exactly at the target as bad. (Regression: the aggregates used strict >.)
+func TestEqualityAtExpectedRTTCountsBad(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// Every quartet's mean RTT is exactly the cloud's expected RTT (45)
+	// and above the static badness target (40), so all are bad quartets
+	// and the cloud bad-fraction must be 1.0, not 0.0.
+	for p := 0; p < 10; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, netmodel.ASN(2000+p%2), netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 45, 40, 20))
+	}
+	th := StaticThresholds(map[netmodel.CloudID]float64{1: 45}, nil)
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 10 {
+		t.Fatalf("results = %d, want 10", len(rs))
+	}
+	for _, r := range rs {
+		if r.Blame != BlameCloud {
+			t.Fatalf("RTT exactly at expected: blame = %v, want cloud", r.Blame)
+		}
+	}
+}
+
+// TestEqualityAtExpectedMiddleCountsBad locks the >= convention on the
+// middle aggregate too.
+func TestEqualityAtExpectedMiddleCountsBad(t *testing.T) {
+	paths := make(map[pcKey]netmodel.Path)
+	var qs []quartet.Quartet
+	// 10 bad quartets whose RTT equals the middle's expected RTT exactly.
+	for p := 0; p < 10; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2001, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 45, 40, 20))
+	}
+	// 30 good quartets on another middle keep the cloud fraction low.
+	for p := 10; p < 40; p++ {
+		paths[pcKey{netmodel.PrefixID(p), 1}] = simplePath(1, 2002, netmodel.ASN(100+p))
+		qs = append(qs, mkQuartet(p, 1, 20, 40, 20))
+	}
+	th := StaticThresholds(
+		map[netmodel.CloudID]float64{1: 50}, // cloud never looks bad
+		map[netmodel.MiddleKey]float64{
+			simplePath(1, 2001, 0).Key(): 45, // equality on the faulty middle
+			simplePath(1, 2002, 0).Key(): 45,
+		})
+	l := NewLocalizer(DefaultConfig(), cloudASN, pathFunc(paths), th)
+	rs := l.Localize(qs)
+	if len(rs) != 10 {
+		t.Fatalf("results = %d, want 10", len(rs))
+	}
+	for _, r := range rs {
+		if r.Blame != BlameMiddle {
+			t.Fatalf("RTT exactly at middle expected: blame = %v, want middle", r.Blame)
+		}
+	}
+}
+
 // TestWorkedExampleSection43 reproduces the §4.3 worked example: with RTTs
 // uniform in [40,70] after a cloud fault, a 50ms static threshold sees only
 // 1/3 of quartets bad (no cloud blame at τ=0.8), while the learned 40ms

@@ -21,6 +21,8 @@ type Env struct {
 	Sim     *sim.Simulator
 	Seed    int64
 	Horizon netmodel.Bucket
+	// Workers is the environment's fan-out setting (see EnvConfig.Workers).
+	Workers int
 }
 
 // EnvConfig parameterizes environment construction.
@@ -31,6 +33,10 @@ type EnvConfig struct {
 	Churn bgp.ChurnConfig
 	// Faults is the injected schedule; nil means fault-free.
 	Faults []faults.Fault
+	// Workers caps the fan-out of observation generation and, via
+	// NewPipeline, the Algorithm 1 job (0 = all cores, 1 = sequential).
+	// Results are identical at any setting; only wall time changes.
+	Workers int
 }
 
 // NewEnv builds a deterministic experiment environment.
@@ -41,8 +47,10 @@ func NewEnv(cfg EnvConfig) *Env {
 	w := topology.Generate(cfg.Scale, cfg.Seed)
 	horizon := netmodel.Bucket(cfg.Days * netmodel.BucketsPerDay)
 	tbl := bgp.NewTable(w, cfg.Churn, horizon, cfg.Seed+1)
-	s := sim.New(w, tbl, faults.NewSchedule(cfg.Faults), sim.DefaultConfig(cfg.Seed+2))
-	return &Env{World: w, Table: tbl, Sched: s.Sched, Sim: s, Seed: cfg.Seed, Horizon: horizon}
+	scfg := sim.DefaultConfig(cfg.Seed + 2)
+	scfg.Workers = cfg.Workers
+	s := sim.New(w, tbl, faults.NewSchedule(cfg.Faults), scfg)
+	return &Env{World: w, Table: tbl, Sched: s.Sched, Sim: s, Seed: cfg.Seed, Horizon: horizon, Workers: cfg.Workers}
 }
 
 // QuartetsAt classifies the observations of one bucket.
@@ -55,8 +63,12 @@ func (e *Env) QuartetsAt(b netmodel.Bucket, buf []trace.Observation) ([]quartet.
 	return qs, buf
 }
 
-// NewPipeline assembles a pipeline over the environment's simulator.
+// NewPipeline assembles a pipeline over the environment's simulator. A
+// zero cfg.Workers inherits the environment's fan-out setting.
 func (e *Env) NewPipeline(cfg pipeline.Config) *pipeline.Pipeline {
+	if cfg.Workers == 0 {
+		cfg.Workers = e.Workers
+	}
 	return pipeline.New(e.Sim, cfg)
 }
 

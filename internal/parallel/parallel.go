@@ -1,0 +1,92 @@
+// Package parallel is the small deterministic fan-out helper shared by the
+// simulator's observation generation and the pipeline's Algorithm 1 job.
+//
+// The contract every caller follows: work is split into index-addressed
+// units, each unit writes only to its own output slot (a per-shard buffer
+// or a per-bucket result slice), and the caller merges the slots in index
+// order after the fan-out returns. Scheduling order is therefore invisible
+// in the output — results are byte-identical at any worker count, which is
+// what lets the repo's seed-determinism guarantees survive parallelism.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: any non-positive
+// value means runtime.GOMAXPROCS(0) (use every available core), 1 forces
+// the sequential path.
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns once all calls have completed. Workers claim indices from a
+// shared counter, so assignment of index to goroutine is nondeterministic;
+// fn must write only to index-addressed state. With workers <= 1 (or n <=
+// 1) everything runs on the calling goroutine, giving tests and ablations
+// an exactly-sequential reference path.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shard is a contiguous half-open index range [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+}
+
+// Shards splits [0, n) into at most parts near-equal contiguous ranges,
+// never returning an empty shard. The split depends only on (n, parts), so
+// shard boundaries — and hence per-shard outputs — are deterministic.
+func Shards(n, parts int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Shard, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, Shard{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}

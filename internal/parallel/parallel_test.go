@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Resolve(n); got != n {
+			t.Errorf("Resolve(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 32} {
+		const n = 100
+		var hits [n]atomic.Int64
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndTiny(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+	ran := 0
+	ForEach(1, 8, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("n=1 ran %d times", ran)
+	}
+}
+
+func TestShardsPartitionExactly(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{10, 3}, {3, 10}, {1, 1}, {100, 7}, {8, 8}, {5, 1}, {0, 4},
+	}
+	for _, c := range cases {
+		shards := Shards(c.n, c.parts)
+		next := 0
+		for _, s := range shards {
+			if s.Lo != next {
+				t.Fatalf("n=%d parts=%d: shard starts at %d, want %d", c.n, c.parts, s.Lo, next)
+			}
+			if s.Hi <= s.Lo {
+				t.Fatalf("n=%d parts=%d: empty shard %+v", c.n, c.parts, s)
+			}
+			next = s.Hi
+		}
+		if next != c.n {
+			t.Fatalf("n=%d parts=%d: shards cover [0,%d), want [0,%d)", c.n, c.parts, next, c.n)
+		}
+		if len(shards) > c.parts && c.parts > 0 {
+			t.Fatalf("n=%d parts=%d: %d shards exceed parts", c.n, c.parts, len(shards))
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(1000, 16)
+	b := Shards(1000, 16)
+	if len(a) != len(b) {
+		t.Fatal("shard count varies")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

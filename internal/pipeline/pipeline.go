@@ -14,6 +14,7 @@ import (
 	"blameit/internal/core"
 	"blameit/internal/faults"
 	"blameit/internal/netmodel"
+	"blameit/internal/parallel"
 	"blameit/internal/predict"
 	"blameit/internal/probe"
 	"blameit/internal/quartet"
@@ -38,6 +39,12 @@ type Config struct {
 	// WarmupSampleEvery subsamples warmup buckets when learning expected
 	// RTTs (1 = every bucket).
 	WarmupSampleEvery int
+	// Workers caps the concurrency of the Algorithm 1 job: the per-bucket
+	// core.Localize calls of one window run on up to Workers goroutines
+	// and their Results are merged in bucket order, so reports are
+	// identical at any worker count. Non-positive means
+	// runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	Workers int
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -94,9 +101,14 @@ type Pipeline struct {
 	// recomputes the trailing 14-day medians continuously).
 	lastRelearnDay int
 
-	// window accumulates classified quartets between job runs.
-	window []quartet.Quartet
-	obsBuf []sim.Observation
+	// window accumulates classified quartets between job runs; windowFrom
+	// is the first bucket actually stepped into the current window (the
+	// job's Report.From is clamped to it, so a run starting on a bucket
+	// unaligned with RunEvery never reports buckets it did not step).
+	window       []quartet.Quartet
+	windowFrom   netmodel.Bucket
+	windowPrimed bool
+	obsBuf       []sim.Observation
 }
 
 // New assembles a pipeline over an existing simulator.
@@ -189,6 +201,10 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 	if p.Passive == nil {
 		p.rebuildPassive()
 	}
+	if !p.windowPrimed {
+		p.windowFrom = b
+		p.windowPrimed = true
+	}
 	// Passive collection and classification.
 	p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
 	feedLearner := int(b)%p.Cfg.WarmupSampleEvery == 0
@@ -228,21 +244,37 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 
 // runJob executes the Algorithm 1 job over the accumulated window.
 func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
-	rep := &Report{From: b - netmodel.Bucket(p.Cfg.RunEvery) + 1, To: b}
+	from := b - netmodel.Bucket(p.Cfg.RunEvery) + 1
+	if p.windowPrimed && p.windowFrom > from {
+		// The run started on a bucket unaligned with the job cadence (or
+		// buckets were skipped): report only the buckets actually stepped.
+		from = p.windowFrom
+	}
+	rep := &Report{From: from, To: b}
 	// Localize each bucket of the window separately so aggregates stay
 	// time-consistent.
 	byBucket := make(map[netmodel.Bucket][]quartet.Quartet)
 	for _, q := range p.window {
 		byBucket[q.Obs.Bucket] = append(byBucket[q.Obs.Bucket], q)
 	}
-	for wb := rep.From; wb <= rep.To; wb++ {
-		qs := byBucket[wb]
+	// The per-bucket Localize calls share only read-only state (localizer
+	// config, thresholds, BGP table), so the window's buckets run
+	// concurrently; per-bucket result slots are merged in bucket order to
+	// keep reports deterministic.
+	nb := int(rep.To-rep.From) + 1
+	perBucket := make([][]core.Result, nb)
+	parallel.ForEach(nb, parallel.Resolve(p.Cfg.Workers), func(i int) {
+		qs := byBucket[rep.From+netmodel.Bucket(i)]
 		if len(qs) == 0 {
-			continue
+			return
 		}
-		rep.Results = append(rep.Results, p.Passive.Localize(qs)...)
+		perBucket[i] = p.Passive.Localize(qs)
+	})
+	for _, rs := range perBucket {
+		rep.Results = append(rep.Results, rs...)
 	}
 	p.window = p.window[:0]
+	p.windowPrimed = false
 
 	// Track middle-issue persistence at job granularity and run the active
 	// phase for the window's middle verdicts.

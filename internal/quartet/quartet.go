@@ -44,7 +44,10 @@ type Quartet struct {
 // region/device targets in production use).
 type TargetFunc func(p netmodel.PrefixID) float64
 
-// Classify applies the badness test to one observation.
+// Classify applies the badness test to one observation. A mean RTT exactly
+// at the target counts as bad — the >= convention every threshold
+// comparison in the system follows (core.Localize applies the same
+// operator to its aggregate-vs-expected-RTT tests).
 func Classify(o trace.Observation, target float64) Quartet {
 	q := Quartet{Obs: o, Target: target}
 	q.Enough = o.Samples >= MinSamples

@@ -8,16 +8,22 @@
 //
 // All stochastic values are derived from a hash of (seed, prefix, cloud,
 // bucket), so any observation can be regenerated at random access without
-// replaying the stream.
+// replaying the stream. That same property makes generation embarrassingly
+// parallel: ObservationsAt and SamplesAt shard the prefix space across a
+// worker pool and merge the per-shard buffers in prefix order, so output is
+// byte-identical to the sequential path at any worker count (see Config.
+// Workers).
 package sim
 
 import (
 	"math"
+	"sync"
 
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
 	"blameit/internal/ipaddr"
 	"blameit/internal/netmodel"
+	"blameit/internal/parallel"
 	"blameit/internal/topology"
 	"blameit/internal/trace"
 )
@@ -44,9 +50,16 @@ type Config struct {
 	// AS's normal contribution by up to roughly this much, which is what
 	// makes background-probe freshness matter (Fig. 13).
 	DriftMS float64
+	// Workers caps the goroutines used to generate one bucket's
+	// observations and samples. Non-positive means runtime.GOMAXPROCS(0);
+	// 1 forces the sequential path. Because every stochastic value is
+	// hash-derived and per-shard buffers are merged in prefix order, the
+	// output stream is identical at any worker count.
+	Workers int
 }
 
-// DefaultConfig returns the calibrated simulator settings.
+// DefaultConfig returns the calibrated simulator settings. Workers is left
+// at 0, i.e. runtime.GOMAXPROCS(0).
 func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, NoiseSigma: 0.10, MixSigma: 0.07, SamplesPerClient: 4.0, DiurnalMaxMS: 18, DriftMS: 2}
 }
@@ -56,6 +69,13 @@ func DefaultConfig(seed int64) Config {
 type Observation = trace.Observation
 
 // Simulator generates observations and answers ground-truth queries.
+//
+// All query methods (MeanRTT, Contributions, Observe, ObservationsAt, ...)
+// are safe for concurrent use: the per-AS maps are built once in New and
+// only read afterwards, and the routing table and fault schedule are
+// likewise read-only at query time. The only mutable state is the scratch
+// buffers of the sharded generation paths, which are handed out under a
+// mutex.
 type Simulator struct {
 	World  *topology.World
 	Routes *bgp.Table
@@ -65,6 +85,12 @@ type Simulator struct {
 	diurnalAmp    map[netmodel.ASN]float64 // evening congestion amplitude per eyeball AS
 	weekendFactor map[netmodel.ASN]float64 // how much of the diurnal shape survives weekends
 	eveningPeak   map[netmodel.ASN]float64 // peak hour of the AS's congestion
+
+	// Reusable per-shard buffers for the parallel generation paths,
+	// checked out under mu so concurrent callers never share scratch.
+	mu         sync.Mutex
+	obsScratch [][]Observation
+	smpScratch [][]trace.Sample
 }
 
 // New creates a simulator. The routing table and fault schedule may cover
@@ -109,6 +135,11 @@ func New(w *topology.World, routes *bgp.Table, sched *faults.Schedule, cfg Confi
 
 // Config returns the simulator configuration.
 func (s *Simulator) Config() Config { return s.cfg }
+
+// SetWorkers adjusts the generation fan-out after construction (benchmarks
+// and the CLI -workers flag). It only changes how work is scheduled, never
+// what is generated. Not safe to call concurrently with generation.
+func (s *Simulator) SetWorkers(n int) { s.cfg.Workers = n }
 
 // mix is a splitmix64-style hash over its inputs, used to derive
 // deterministic per-entity randomness.
@@ -300,11 +331,41 @@ func (s *Simulator) volumeFactor(p netmodel.PrefixID, b netmodel.Bucket) float64
 	return 0.55 + 0.75*nightFactor(hour, s.eveningPeak[pref.AS])
 }
 
+// minParallelPrefixes is the prefix count below which the sharded path is
+// not worth its goroutine overhead.
+const minParallelPrefixes = 64
+
 // ObservationsAt generates the quartet-level observations of one bucket,
 // appending to buf (which may be nil) and returning the extended slice.
 // Quartets with zero samples are omitted.
+//
+// When cfg.Workers resolves to more than one, the prefix space is split
+// into contiguous shards generated concurrently; the per-shard buffers are
+// merged in shard (= prefix) order, so the result is byte-identical to the
+// sequential walk.
 func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Observation {
-	for _, pref := range s.World.Prefixes {
+	n := len(s.World.Prefixes)
+	workers := parallel.Resolve(s.cfg.Workers)
+	if workers <= 1 || n < minParallelPrefixes {
+		return s.observationsRange(b, 0, n, buf)
+	}
+	shards := parallel.Shards(n, workers)
+	bufs := s.checkoutObs(len(shards))
+	parallel.ForEach(len(shards), workers, func(i int) {
+		bufs[i] = s.observationsRange(b, shards[i].Lo, shards[i].Hi, bufs[i][:0])
+	})
+	for _, sb := range bufs {
+		buf = append(buf, sb...)
+	}
+	s.checkinObs(bufs)
+	return buf
+}
+
+// observationsRange generates the observations of prefixes [lo, hi) — one
+// shard of the bucket's stream.
+func (s *Simulator) observationsRange(b netmodel.Bucket, lo, hi int, buf []Observation) []Observation {
+	for i := lo; i < hi; i++ {
+		pref := s.World.Prefixes[i]
 		for _, att := range s.attachmentsAt(pref.ID, b) {
 			o, ok := s.Observe(pref.ID, att.Cloud, att.Weight, b)
 			if ok {
@@ -313,6 +374,26 @@ func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Obser
 		}
 	}
 	return buf
+}
+
+// checkoutObs hands the caller n per-shard scratch buffers, reusing the
+// cached set when one is available. Concurrent callers that miss the cache
+// simply allocate a fresh set.
+func (s *Simulator) checkoutObs(n int) [][]Observation {
+	s.mu.Lock()
+	bufs := s.obsScratch
+	s.obsScratch = nil
+	s.mu.Unlock()
+	if len(bufs) < n {
+		bufs = append(bufs, make([][]Observation, n-len(bufs))...)
+	}
+	return bufs[:n]
+}
+
+func (s *Simulator) checkinObs(bufs [][]Observation) {
+	s.mu.Lock()
+	s.obsScratch = bufs
+	s.mu.Unlock()
 }
 
 // Observe generates the observation of a single (prefix, cloud) quartet at
@@ -354,9 +435,31 @@ func (s *Simulator) Observe(p netmodel.PrefixID, c netmodel.CloudID, weight floa
 // sample stream (trace.Sample records with per-sample RTT spread and
 // distinct client addresses), appending to buf. This is the record shape
 // the cloud servers log before quartet aggregation.
+//
+// Like ObservationsAt, the expansion shards across cfg.Workers goroutines
+// (here over the observation list) and merges per-shard buffers in order,
+// so the stream is identical at any worker count.
 func (s *Simulator) SamplesAt(b netmodel.Bucket, buf []trace.Sample) []trace.Sample {
 	var obs []Observation
 	obs = s.ObservationsAt(b, obs)
+	workers := parallel.Resolve(s.cfg.Workers)
+	if workers <= 1 || len(obs) < minParallelPrefixes {
+		return s.samplesRange(b, obs, buf)
+	}
+	shards := parallel.Shards(len(obs), workers)
+	bufs := s.checkoutSamples(len(shards))
+	parallel.ForEach(len(shards), workers, func(i int) {
+		bufs[i] = s.samplesRange(b, obs[shards[i].Lo:shards[i].Hi], bufs[i][:0])
+	})
+	for _, sb := range bufs {
+		buf = append(buf, sb...)
+	}
+	s.checkinSamples(bufs)
+	return buf
+}
+
+// samplesRange expands one shard of a bucket's observations into samples.
+func (s *Simulator) samplesRange(b netmodel.Bucket, obs []Observation, buf []trace.Sample) []trace.Sample {
 	for _, o := range obs {
 		base := s.World.Prefixes[o.Prefix].Base
 		clients := o.Clients
@@ -380,6 +483,23 @@ func (s *Simulator) SamplesAt(b netmodel.Bucket, buf []trace.Sample) []trace.Sam
 		}
 	}
 	return buf
+}
+
+func (s *Simulator) checkoutSamples(n int) [][]trace.Sample {
+	s.mu.Lock()
+	bufs := s.smpScratch
+	s.smpScratch = nil
+	s.mu.Unlock()
+	if len(bufs) < n {
+		bufs = append(bufs, make([][]trace.Sample, n-len(bufs))...)
+	}
+	return bufs[:n]
+}
+
+func (s *Simulator) checkinSamples(bufs [][]trace.Sample) {
+	s.mu.Lock()
+	s.smpScratch = bufs
+	s.mu.Unlock()
 }
 
 // SampleRTTs draws n individual RTT samples for a quartet, for tests that

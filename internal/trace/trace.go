@@ -119,6 +119,12 @@ func Join(rtts []RTTRecord, clients []ClientRecord) []Observation {
 // team was "currently working on creating finer buckets"; WindowBuckets
 // implements that follow-up — shrinking the window cuts the scan cost of
 // the 15-minute job proportionally (see TestFinerWindowsCutScanCost).
+//
+// A Store is NOT safe for concurrent use: Write mutates the window maps
+// and ReadWindow updates the scan counters. The simulator's parallel
+// generation paths merge their per-shard buffers into one ordered slice
+// before anything is written here, so single-writer ingestion is the
+// natural calling convention.
 type Store struct {
 	bucketsPerWindow int
 	windowLen        netmodel.Bucket // ingestion window length in 5-min buckets
