@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-parallel verify
+.PHONY: all build vet test race bench-parallel cover verify
 
 all: verify
 
@@ -23,6 +23,13 @@ race:
 # parallel variant should approach N x (output is identical either way).
 bench-parallel:
 	$(GO) test -run NONE -bench 'BenchmarkPipeline(Sequential|Parallel)$$' -benchtime 3x .
+
+# Coverage over every package (-short skips the multi-minute integration
+# runs), printing the module total; leaves cover.out behind for
+# `go tool cover -html=cover.out` or a full `go tool cover -func` listing.
+cover:
+	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # The gate every change must pass: static checks, full build, full test
 # suite, and the race-detector pass over the concurrent packages.

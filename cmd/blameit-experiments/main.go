@@ -4,7 +4,7 @@
 // Usage:
 //
 //	blameit-experiments [-scale small|medium] [-seed N] [-run all|<ids>]
-//	                    [-workers N] [-time]
+//	                    [-workers N] [-metrics] [-time]
 //
 // where <ids> is a comma-separated subset of: table1, table2, fig2, fig3,
 // fig4a, fig4b, fig5, fig6, fig8, fig9, fig10, cases, battery, fig11,
@@ -22,6 +22,7 @@ import (
 	"blameit/internal/bgp"
 	"blameit/internal/experiments"
 	"blameit/internal/faults"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/topology"
 )
@@ -35,13 +36,21 @@ var expIDs = []string{
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "world scale: small or medium")
-		seed      = flag.Int64("seed", 42, "deterministic seed")
-		runList   = flag.String("run", "all", "comma-separated experiment ids or 'all'")
-		timing    = flag.Bool("time", false, "print per-experiment wall time")
-		workers   = flag.Int("workers", 0, "cap cores used by the runtime and the default worker pools (0 = all cores; results are identical at any setting)")
+		scaleName   = flag.String("scale", "small", "world scale: small or medium")
+		seed        = flag.Int64("seed", 42, "deterministic seed")
+		runList     = flag.String("run", "all", "comma-separated experiment ids or 'all'")
+		timing      = flag.Bool("time", false, "print per-experiment wall time")
+		workers     = flag.Int("workers", 0, "cap cores used by the runtime and the default worker pools (0 = all cores; results are identical at any setting)")
+		dumpMetrics = flag.Bool("metrics", false, "dump the cumulative metrics snapshot of all runs as JSON on exit")
 	)
 	flag.Parse()
+
+	// Experiment runners construct their environments internally, so the
+	// metrics opt-in goes through the process-default registry: every
+	// simulator and pipeline built after this call reports into it.
+	if *dumpMetrics {
+		metrics.EnableDefault()
+	}
 
 	// Every Workers knob in the system defaults to runtime.GOMAXPROCS(0),
 	// so capping GOMAXPROCS bounds the fan-out of every environment the
@@ -81,6 +90,13 @@ func main() {
 		runOne(id, scale, *seed)
 		if *timing {
 			fmt.Printf("  [%s took %.1fs]\n\n", id, time.Since(startT).Seconds())
+		}
+	}
+	if *dumpMetrics {
+		fmt.Println()
+		if err := metrics.Default().Snapshot().WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "blameit-experiments:", err)
+			os.Exit(1)
 		}
 	}
 }

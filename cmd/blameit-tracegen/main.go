@@ -7,7 +7,7 @@
 //
 //	blameit-tracegen [-scale small|medium|large] [-seed N] [-days N]
 //	                 [-faults random|none] [-level quartet|sample]
-//	                 [-workers N] [-o FILE]
+//	                 [-workers N] [-metrics] [-o FILE]
 //
 // At -level quartet (default) each line is one aggregated quartet
 // observation; at -level sample each line is one raw handshake record with
@@ -24,6 +24,7 @@ import (
 
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/sim"
 	"blameit/internal/topology"
@@ -32,13 +33,14 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "world scale: small, medium or large")
-		seed      = flag.Int64("seed", 42, "deterministic seed")
-		days      = flag.Int("days", 1, "days of trace to generate")
-		workload  = flag.String("faults", "random", "fault workload: random or none")
-		level     = flag.String("level", "quartet", "record granularity: quartet or sample")
-		workers   = flag.Int("workers", 0, "goroutines for observation/sample generation (0 = all cores, 1 = sequential; output is identical either way)")
-		outFile   = flag.String("o", "", "output file (default stdout)")
+		scaleName   = flag.String("scale", "small", "world scale: small, medium or large")
+		seed        = flag.Int64("seed", 42, "deterministic seed")
+		days        = flag.Int("days", 1, "days of trace to generate")
+		workload    = flag.String("faults", "random", "fault workload: random or none")
+		level       = flag.String("level", "quartet", "record granularity: quartet or sample")
+		workers     = flag.Int("workers", 0, "goroutines for observation/sample generation (0 = all cores, 1 = sequential; output is identical either way)")
+		dumpMetrics = flag.Bool("metrics", false, "dump the generation metrics snapshot as JSON on stderr at exit")
+		outFile     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
@@ -74,9 +76,11 @@ func main() {
 	if *workload == "random" {
 		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, *seed+1).Faults
 	}
+	reg := metrics.NewRegistry()
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, *seed+2)
 	scfg := sim.DefaultConfig(*seed + 3)
 	scfg.Workers = *workers
+	scfg.Metrics = reg
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 
 	var written int64
@@ -109,4 +113,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: wrote %d %s records over %d day(s), %d faults\n", written, *level, *days, len(fs))
+	if *dumpMetrics {
+		// Metrics go to stderr so the trace stream on stdout stays clean.
+		if err := reg.Snapshot().WriteJSON(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -7,7 +7,7 @@
 //
 //	blameit [-scale small|medium|large] [-seed N] [-days N] [-warmup N]
 //	        [-workload random|cases|battery|none] [-budget N] [-top N]
-//	        [-workers N] [-v]
+//	        [-workers N] [-metrics] [-v]
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/faults"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
 	"blameit/internal/probe"
@@ -40,25 +41,26 @@ func scaleByName(name string) (topology.Scale, error) {
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "world scale: small, medium or large")
-		seed      = flag.Int64("seed", 42, "deterministic seed for the world, faults and noise")
-		days      = flag.Int("days", 2, "days to run after warmup")
-		warmup    = flag.Int("warmup", 1, "warmup days for expected-RTT learning")
-		workload  = flag.String("workload", "random", "fault workload: random, cases, battery or none")
-		budget    = flag.Int("budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
-		topN      = flag.Int("top", 5, "tickets to print per job run")
-		workers   = flag.Int("workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
-		verbose   = flag.Bool("v", false, "print every job run, not only runs with tickets")
+		scaleName   = flag.String("scale", "small", "world scale: small, medium or large")
+		seed        = flag.Int64("seed", 42, "deterministic seed for the world, faults and noise")
+		days        = flag.Int("days", 2, "days to run after warmup")
+		warmup      = flag.Int("warmup", 1, "warmup days for expected-RTT learning")
+		workload    = flag.String("workload", "random", "fault workload: random, cases, battery or none")
+		budget      = flag.Int("budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
+		topN        = flag.Int("top", 5, "tickets to print per job run")
+		workers     = flag.Int("workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
+		dumpMetrics = flag.Bool("metrics", false, "dump the pipeline metrics snapshot as JSON on exit")
+		verbose     = flag.Bool("v", false, "print every job run, not only runs with tickets")
 	)
 	flag.Parse()
 
-	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *workers, *verbose); err != nil {
+	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *workers, *dumpMetrics, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "blameit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN, workers int, verbose bool) error {
+func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN, workers int, dumpMetrics, verbose bool) error {
 	scale, err := scaleByName(scaleName)
 	if err != nil {
 		return err
@@ -95,14 +97,17 @@ func run(scaleName string, seed int64, days, warmup int, workload string, budget
 		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
 	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup\n\n", workload, len(fs), days, warmup)
 
+	reg := metrics.NewRegistry()
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, seed+2)
 	scfg := sim.DefaultConfig(seed + 3)
 	scfg.Workers = workers
+	scfg.Metrics = reg
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 	cfg := pipeline.DefaultConfig()
 	cfg.BudgetPerCloudPerDay = budget
 	cfg.TopNAlerts = topN
 	cfg.Workers = workers
+	cfg.Metrics = reg
 	p := pipeline.New(s, cfg)
 
 	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", warmup)
@@ -148,5 +153,11 @@ func run(scaleName string, seed int64, days, warmup int, workload string, budget
 	fmt.Printf("\nprobes: %d background, %d churn-triggered, %d on-demand (%d total)\n",
 		cnt.Count(probe.Background), cnt.Count(probe.ChurnTriggered), cnt.Count(probe.OnDemand), cnt.Total())
 	fmt.Printf("badness incidents tracked: %d; tickets filed: %d\n", len(incidents), ticketCount)
+	if dumpMetrics {
+		fmt.Println()
+		if err := p.Metrics.Snapshot().WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -16,13 +16,13 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("nope", 1, 1, 1, "random", 0, 5, 0, false); err == nil {
+	if err := run("nope", 1, 1, 1, "random", 0, 5, 0, false, false); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("small", 1, 0, 1, "random", 0, 5, 0, false); err == nil {
+	if err := run("small", 1, 0, 1, "random", 0, 5, 0, false, false); err == nil {
 		t.Error("zero days accepted")
 	}
-	if err := run("small", 1, 1, 1, "martian", 0, 5, 0, false); err == nil {
+	if err := run("small", 1, 1, 1, "martian", 0, 5, 0, false, false); err == nil {
 		t.Error("bad workload accepted")
 	}
 }
@@ -33,7 +33,7 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	// One warmup day plus one quiet day; output goes to stdout, which the
 	// test harness captures.
-	if err := run("small", 7, 1, 1, "none", 10, 3, 1, false); err != nil {
+	if err := run("small", 7, 1, 1, "none", 10, 3, 1, true, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"blameit/internal/active"
 	"blameit/internal/core"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 )
 
@@ -49,12 +50,23 @@ type Ticket struct {
 type Alerter struct {
 	TopN   int
 	nextID int
+
+	mEmitted   *metrics.Counter
+	mTruncated *metrics.Counter
 }
 
 // NewAlerter creates an alerter that emits at most topN tickets per window
 // (0 = unlimited).
 func NewAlerter(topN int) *Alerter {
 	return &Alerter{TopN: topN}
+}
+
+// SetMetrics mirrors ticket emission into a metrics registry
+// (alerting.tickets.emitted / alerting.tickets.truncated counters, the
+// latter counting tickets dropped by the TopN cut).
+func (a *Alerter) SetMetrics(reg *metrics.Registry) {
+	a.mEmitted = reg.Counter("alerting.tickets.emitted")
+	a.mTruncated = reg.Counter("alerting.tickets.truncated")
 }
 
 // issueGroup accumulates one ticket-worthy issue.
@@ -140,11 +152,13 @@ func (a *Alerter) Generate(b netmodel.Bucket, results []core.Result, verdicts []
 		return tickets[i].Summary < tickets[j].Summary
 	})
 	if a.TopN > 0 && len(tickets) > a.TopN {
+		a.mTruncated.Add(int64(len(tickets) - a.TopN))
 		tickets = tickets[:a.TopN]
 	}
 	for i := range tickets {
 		a.nextID++
 		tickets[i].ID = a.nextID
 	}
+	a.mEmitted.Add(int64(len(tickets)))
 	return tickets
 }

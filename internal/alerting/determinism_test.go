@@ -1,0 +1,154 @@
+package alerting
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"blameit/internal/core"
+	"blameit/internal/metrics"
+)
+
+// permuted returns a deterministic shuffle of rs: reversed, then rotated
+// by k. Enough to scramble any input order the pipeline could produce.
+func permuted(rs []core.Result, k int) []core.Result {
+	out := make([]core.Result, 0, len(rs))
+	for i := len(rs) - 1; i >= 0; i-- {
+		out = append(out, rs[i])
+	}
+	k %= len(out)
+	return append(out[k:], out[:k]...)
+}
+
+// ticketKey describes a ticket independent of its assigned ID, which is
+// sequential per alerter and therefore differs between fresh alerters.
+func ticketKey(t Ticket) string {
+	return fmt.Sprintf("%v|%d|%s|%d|%d|%s", t.Category, t.Cloud, t.MiddleKey, t.ClientAS, t.Impact, t.Summary)
+}
+
+// TestGenerateTieBreakDeterminism feeds Generate the same window of
+// results in many input orders and demands the identical ticket sequence
+// every time, including under TopN truncation where the tie break decides
+// which equal-impact tickets survive the cut.
+func TestGenerateTieBreakDeterminism(t *testing.T) {
+	// Three equal-impact middle groups, two equal-impact client groups, and
+	// one cloud group: plenty of ties for the sort to resolve.
+	base := []core.Result{
+		res(core.BlameMiddle, 1, 2001, 0, 10),
+		res(core.BlameMiddle, 1, 2002, 0, 10),
+		res(core.BlameMiddle, 1, 2003, 0, 10),
+		res(core.BlameClient, 1, 0, 10001, 10),
+		res(core.BlameClient, 1, 0, 10002, 10),
+		res(core.BlameCloud, 2, 0, 0, 10),
+		res(core.BlameInsufficient, 1, 0, 0, 50), // never ticketed
+	}
+	cases := []struct {
+		name       string
+		topN       int
+		wantKept   int
+		wantUnique int // distinct groups before the cut
+	}{
+		{"unlimited", 0, 6, 6},
+		{"top1", 1, 1, 6},
+		{"top3-cuts-ties", 3, 3, 6},
+		{"top5-cuts-ties", 5, 5, 6},
+		{"topN-above-count", 10, 6, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []string
+			for k := 0; k < len(base); k++ {
+				a := NewAlerter(tc.topN)
+				tickets := a.Generate(5, permuted(base, k), nil)
+				if len(tickets) != tc.wantKept {
+					t.Fatalf("permutation %d: %d tickets, want %d", k, len(tickets), tc.wantKept)
+				}
+				got := make([]string, len(tickets))
+				for i, tk := range tickets {
+					got[i] = ticketKey(tk)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("permutation %d diverged at ticket %d:\n got  %s\n want %s", k, i, got[i], want[i])
+					}
+				}
+			}
+			// Equal-impact tickets must come out in ascending summary order,
+			// so the surviving prefix under truncation is well defined.
+			a := NewAlerter(tc.topN)
+			tickets := a.Generate(5, base, nil)
+			for i := 1; i < len(tickets); i++ {
+				if tickets[i-1].Impact < tickets[i].Impact {
+					t.Fatalf("tickets not sorted by impact: %d before %d", tickets[i-1].Impact, tickets[i].Impact)
+				}
+				if tickets[i-1].Impact == tickets[i].Impact && tickets[i-1].Summary >= tickets[i].Summary {
+					t.Fatalf("equal-impact tie not broken by summary: %q before %q", tickets[i-1].Summary, tickets[i].Summary)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateTruncationKeepsLexicographicWinners pins down WHICH tickets
+// survive a TopN cut among all-equal impacts: the lexicographically
+// smallest summaries, regardless of input order.
+func TestGenerateTruncationKeepsLexicographicWinners(t *testing.T) {
+	base := []core.Result{
+		res(core.BlameMiddle, 1, 2001, 0, 10),
+		res(core.BlameMiddle, 1, 2002, 0, 10),
+		res(core.BlameMiddle, 1, 2003, 0, 10),
+		res(core.BlameMiddle, 1, 2004, 0, 10),
+	}
+	full := NewAlerter(0).Generate(5, base, nil)
+	if len(full) != 4 {
+		t.Fatalf("full run produced %d tickets", len(full))
+	}
+	summaries := make([]string, len(full))
+	for i, tk := range full {
+		summaries[i] = tk.Summary
+	}
+	if !sort.StringsAreSorted(summaries) {
+		t.Fatalf("all-equal-impact tickets not in summary order: %v", summaries)
+	}
+	for k := 0; k < len(base); k++ {
+		cut := NewAlerter(2).Generate(5, permuted(base, k), nil)
+		if len(cut) != 2 {
+			t.Fatalf("permutation %d: %d tickets after top-2", k, len(cut))
+		}
+		for i, tk := range cut {
+			if tk.Summary != summaries[i] {
+				t.Fatalf("permutation %d: survivor %d = %q, want %q", k, i, tk.Summary, summaries[i])
+			}
+		}
+	}
+}
+
+// TestGenerateMetricsCounters checks the emitted/truncated counters the
+// alerter mirrors into a metrics registry.
+func TestGenerateMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := NewAlerter(2)
+	a.SetMetrics(reg)
+	base := []core.Result{
+		res(core.BlameMiddle, 1, 2001, 0, 30),
+		res(core.BlameMiddle, 1, 2002, 0, 20),
+		res(core.BlameMiddle, 1, 2003, 0, 10),
+	}
+	if n := len(a.Generate(5, base, nil)); n != 2 {
+		t.Fatalf("tickets = %d", n)
+	}
+	if n := len(a.Generate(6, base[:1], nil)); n != 1 {
+		t.Fatalf("second window tickets = %d", n)
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("alerting.tickets.emitted"); v != 3 {
+		t.Errorf("emitted = %d, want 3", v)
+	}
+	if v, _ := snap.Counter("alerting.tickets.truncated"); v != 1 {
+		t.Errorf("truncated = %d, want 1", v)
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/quartet"
 )
@@ -35,6 +36,7 @@ const (
 	BlameAmbiguous
 	// BlameClient: the client's own ISP.
 	BlameClient
+	numBlames
 )
 
 // String names the blame category as in the paper's figures.
@@ -125,6 +127,12 @@ type Localizer struct {
 	pathOf  PathFunc
 	th      *Thresholds
 	keyOf   MiddleKeyFunc
+
+	// Verdict counters indexed by Blame; the counters themselves are
+	// atomic, so concurrent Localize calls may share them. Configuration,
+	// like SetMiddleKeyFunc: install before sharing across goroutines.
+	mVerdicts  [numBlames]*metrics.Counter
+	mLocalized *metrics.Counter
 }
 
 // NewLocalizer builds a localizer. th may be nil, in which case the static
@@ -139,6 +147,17 @@ func NewLocalizer(cfg Config, cloudAS netmodel.ASN, pathOf PathFunc, th *Thresho
 // SetMiddleKeyFunc overrides how quartets are grouped into middle
 // aggregates (used by the ⟨AS, Metro⟩ grouping baseline).
 func (l *Localizer) SetMiddleKeyFunc(f MiddleKeyFunc) { l.keyOf = f }
+
+// SetMetrics mirrors verdict counts into a metrics registry
+// (core.verdicts.<category> counters plus core.quartets.localized). Like
+// SetMiddleKeyFunc this is configuration: call it before sharing the
+// Localizer across goroutines.
+func (l *Localizer) SetMetrics(reg *metrics.Registry) {
+	for b := Blame(0); b < numBlames; b++ {
+		l.mVerdicts[b] = reg.Counter("core.verdicts." + b.String())
+	}
+	l.mLocalized = reg.Counter("core.quartets.localized")
+}
 
 // aggregate accumulates the per-cloud and per-middle bad fractions.
 type aggregate struct {
@@ -229,6 +248,16 @@ func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
 		}
 	}
 
+	if l.mLocalized != nil {
+		var enough int64
+		for _, q := range qs {
+			if q.Enough {
+				enough++
+			}
+		}
+		l.mLocalized.Add(enough)
+	}
+
 	results := make([]Result, 0, len(qs))
 	for i, q := range qs {
 		if !q.Enough || !q.Bad {
@@ -257,6 +286,17 @@ func (l *Localizer) Localize(qs []quartet.Quartet) []Result {
 			res.BlamedAS = path.Client
 		}
 		results = append(results, res)
+	}
+	// Batch the per-category counts into the shared atomic counters (one
+	// Add per category per call, not per verdict).
+	var byCat [numBlames]int64
+	for _, r := range results {
+		byCat[r.Blame]++
+	}
+	for b, n := range byCat {
+		if n > 0 {
+			l.mVerdicts[b].Add(n)
+		}
 	}
 	return results
 }

@@ -1,0 +1,124 @@
+package ipaddr
+
+import "testing"
+
+// FuzzParseAddr checks that any string Parse accepts round-trips through
+// String back to the same address, and that the rendered form is the
+// canonical one Parse produces it from.
+func FuzzParseAddr(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0", "255.255.255.255", "192.168.1.1", "10.0.0.1",
+		"1.2.3.4", "01.2.3.4", "1.2.3", "1.2.3.4.5", "a.b.c.d",
+		"-1.2.3.4", "256.1.1.1", "1..2.3", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		round := a.String()
+		b, err := Parse(round)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but reparse of %q failed: %v", s, round, err)
+		}
+		if b != a {
+			t.Fatalf("round trip changed address: %q -> %v -> %q -> %v", s, a, round, b)
+		}
+		if round != b.String() {
+			t.Fatalf("String not canonical: %q vs %q", round, b.String())
+		}
+	})
+}
+
+// FuzzParsePrefix checks the CIDR parse/format round trip and the basic
+// containment invariants of any prefix ParsePrefix accepts: the base has
+// no host bits, the prefix contains its first and last address, excludes
+// the addresses on either side, and covers itself.
+func FuzzParsePrefix(f *testing.F) {
+	for _, seed := range []string{
+		"0.0.0.0/0", "255.255.255.255/32", "10.0.0.0/8", "192.168.1.0/24",
+		"1.2.3.4/26", "1.2.3.4/33", "1.2.3.4/-1", "1.2.3.4", "1.2.3.4/",
+		"1.2.3.4/2x", "300.0.0.0/8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if p.Len < 0 || p.Len > 32 {
+			t.Fatalf("ParsePrefix(%q) accepted length %d", s, p.Len)
+		}
+		if p.Base&Mask(p.Len) != p.Base {
+			t.Fatalf("ParsePrefix(%q) = %v has host bits set", s, p)
+		}
+		round := p.String()
+		q, err := ParsePrefix(round)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", round, err)
+		}
+		if q != p {
+			t.Fatalf("round trip changed prefix: %q -> %v -> %q -> %v", s, p, round, q)
+		}
+		first := p.Base
+		last := p.Base + Addr(p.NumAddrs()-1)
+		if !p.Contains(first) || !p.Contains(last) {
+			t.Fatalf("%v does not contain its own range [%v, %v]", p, first, last)
+		}
+		if p.Len > 0 {
+			if first != 0 && p.Contains(first-1) {
+				t.Fatalf("%v contains %v below its range", p, first-1)
+			}
+			if last != 0xFFFFFFFF && p.Contains(last+1) {
+				t.Fatalf("%v contains %v above its range", p, last+1)
+			}
+		}
+		if !p.ContainsPrefix(p) {
+			t.Fatalf("%v does not cover itself", p)
+		}
+	})
+}
+
+// FuzzContainment drives MakePrefix/Contains/ContainsPrefix/Block24 with
+// arbitrary numeric inputs: containment must agree with mask arithmetic,
+// a prefix must cover every /24 carved out of it, and a longer prefix can
+// never cover a shorter one.
+func FuzzContainment(f *testing.F) {
+	f.Add(uint32(0xC0A80100), 24, uint32(0xC0A80142))
+	f.Add(uint32(0), 0, uint32(0xFFFFFFFF))
+	f.Add(uint32(0x0A000000), 8, uint32(0x0B000000))
+	f.Add(uint32(0xFFFFFFFF), 32, uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, base uint32, length int, probe uint32) {
+		if length < 0 {
+			length = -length
+		}
+		length %= 33
+		p := MakePrefix(Addr(base), length)
+		a := Addr(probe)
+		want := a&Mask(length) == p.Base
+		if got := p.Contains(a); got != want {
+			t.Fatalf("%v.Contains(%v) = %v, mask arithmetic says %v", p, a, got, want)
+		}
+		if p.Contains(a) {
+			b24 := Block24(a)
+			if length <= 24 && !p.ContainsPrefix(b24) {
+				t.Fatalf("%v contains %v but not its /24 %v", p, a, b24)
+			}
+			if length > 24 && b24.ContainsPrefix(p) != (b24.Base == p.Base&Mask(24)) {
+				t.Fatalf("/24 coverage of %v by %v inconsistent", p, b24)
+			}
+		}
+		if length > 0 {
+			wider := MakePrefix(Addr(base), length-1)
+			if !wider.ContainsPrefix(p) {
+				t.Fatalf("%v does not cover its own refinement %v", wider, p)
+			}
+			if p.ContainsPrefix(wider) && p != wider {
+				t.Fatalf("longer prefix %v claims to cover shorter %v", p, wider)
+			}
+		}
+	})
+}

@@ -7,12 +7,14 @@ package pipeline
 
 import (
 	"math/rand"
+	"time"
 
 	"blameit/internal/active"
 	"blameit/internal/alerting"
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/faults"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/parallel"
 	"blameit/internal/predict"
@@ -45,6 +47,11 @@ type Config struct {
 	// identical at any worker count. Non-positive means
 	// runtime.GOMAXPROCS(0); 1 forces the sequential path.
 	Workers int
+	// Metrics is the registry every stage reports into. Nil falls back to
+	// the process default registry (see metrics.EnableDefault) and, when
+	// that is also unset, to a fresh private registry — so Pipeline.Metrics
+	// is always usable and per-pipeline counts stay isolated by default.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -70,6 +77,12 @@ type Report struct {
 	Verdicts []active.Verdict
 	// Tickets are the impact-ranked operator alerts.
 	Tickets []alerting.Ticket
+	// Metrics is the metric delta of this job interval — everything the
+	// pipeline's registry accumulated since the previous report (or since
+	// the run started, for the first report): collection and classification
+	// of the window's buckets plus the job itself. Experiments can assert
+	// on per-run counts without diffing registry snapshots themselves.
+	Metrics metrics.Snapshot
 }
 
 // Pipeline is the assembled system.
@@ -78,6 +91,9 @@ type Pipeline struct {
 	Table *bgp.Table
 	Sim   *sim.Simulator
 	Cfg   Config
+
+	// Metrics is the registry every stage of this pipeline reports into.
+	Metrics *metrics.Registry
 
 	Engine     *probe.Engine
 	Baseliner  *probe.Baseliner
@@ -109,6 +125,26 @@ type Pipeline struct {
 	windowFrom   netmodel.Bucket
 	windowPrimed bool
 	obsBuf       []sim.Observation
+
+	// Metric handles (fetched once in New; nil-safe no-ops never occur
+	// here since the pipeline always has a registry).
+	mStageCollect  *metrics.Histogram
+	mStageClassify *metrics.Histogram
+	mStageLocalize *metrics.Histogram
+	mStageActive   *metrics.Histogram
+	mStageAlert    *metrics.Histogram
+	mJobMS         *metrics.Histogram
+	mWindowQs      *metrics.Histogram
+	mWindowBuckets *metrics.Histogram
+	mJobs          *metrics.Counter
+	mRelearns      *metrics.Counter
+	mObsCollected  *metrics.Counter
+	mBadQuartets   *metrics.Counter
+
+	// lastSnap is the registry state at the end of the previous job run
+	// (or at the first Step), the baseline for Report.Metrics deltas.
+	lastSnap       metrics.Snapshot
+	lastSnapPrimed bool
 }
 
 // New assembles a pipeline over an existing simulator.
@@ -119,17 +155,39 @@ func New(s *sim.Simulator, cfg Config) *Pipeline {
 	if cfg.WarmupSampleEvery < 1 {
 		cfg.WarmupSampleEvery = 1
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	p := &Pipeline{
 		World:     s.World,
 		Table:     s.Routes,
 		Sim:       s,
 		Cfg:       cfg,
+		Metrics:   reg,
 		Engine:    probe.NewEngine(s, cfg.ProbeNoiseMS),
 		Learner:   core.NewLearner(),
 		Durations: predict.NewDurationPredictor(3),
 		Clients:   predict.NewClientPredictor(),
 		Alerter:   alerting.NewAlerter(cfg.TopNAlerts),
 	}
+	p.Engine.SetMetrics(reg)
+	p.Alerter.SetMetrics(reg)
+	p.mStageCollect = reg.Histogram("pipeline.stage.collect_ms", metrics.MSBuckets)
+	p.mStageClassify = reg.Histogram("pipeline.stage.classify_ms", metrics.MSBuckets)
+	p.mStageLocalize = reg.Histogram("pipeline.stage.localize_ms", metrics.MSBuckets)
+	p.mStageActive = reg.Histogram("pipeline.stage.active_ms", metrics.MSBuckets)
+	p.mStageAlert = reg.Histogram("pipeline.stage.alert_ms", metrics.MSBuckets)
+	p.mJobMS = reg.Histogram("pipeline.job.total_ms", metrics.MSBuckets)
+	p.mWindowQs = reg.Histogram("pipeline.window.quartets", metrics.SizeBuckets)
+	p.mWindowBuckets = reg.Histogram("pipeline.window.buckets", []float64{1, 2, 3, 6, 12, 24, 48})
+	p.mJobs = reg.Counter("pipeline.jobs.runs")
+	p.mRelearns = reg.Counter("pipeline.relearn.events")
+	p.mObsCollected = reg.Counter("pipeline.observations.collected")
+	p.mBadQuartets = reg.Counter("pipeline.quartets.bad")
 	// Seed the duration predictor with the long-tailed historical prior
 	// (§2.3): production learns P(T|t) from months of fault history, which
 	// a fresh simulation does not have yet.
@@ -138,7 +196,9 @@ func New(s *sim.Simulator, cfg Config) *Pipeline {
 		p.Durations.Record("", int(faults.SampleDuration(prior)))
 	}
 	p.Baseliner = probe.NewBaseliner(cfg.Background, p.Engine, p.Table)
+	p.Baseliner.SetMetrics(reg)
 	p.Budget = probe.NewBudget(cfg.BudgetPerCloudPerDay)
+	p.Budget.SetMetrics(reg)
 	p.Active = active.NewLocalizer(p.Engine, p.Baseliner, p.Budget, p.Durations, p.Clients)
 	p.QuartetTracker = quartet.NewTracker()
 	p.MiddleTracker = active.NewTrackerWithStep(p.Durations, cfg.RunEvery)
@@ -177,6 +237,7 @@ func (p *Pipeline) SetThresholds(th *core.Thresholds) {
 
 func (p *Pipeline) rebuildPassive() {
 	p.Passive = core.NewLocalizer(p.Cfg.Core, p.World.CloudASN, p.PathOf, p.Thresholds)
+	p.Passive.SetMetrics(p.Metrics)
 	if p.keyFunc != nil {
 		p.Passive.SetMiddleKeyFunc(p.keyFunc)
 	}
@@ -205,8 +266,16 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 		p.windowFrom = b
 		p.windowPrimed = true
 	}
+	if !p.lastSnapPrimed {
+		p.lastSnap = p.Metrics.Snapshot()
+		p.lastSnapPrimed = true
+	}
 	// Passive collection and classification.
+	collectStart := time.Now()
 	p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
+	classifyStart := time.Now()
+	p.mStageCollect.Observe(msSince(collectStart, classifyStart))
+	p.mObsCollected.Add(int64(len(p.obsBuf)))
 	feedLearner := int(b)%p.Cfg.WarmupSampleEvery == 0
 	var badKeys []quartet.Key
 	for _, o := range p.obsBuf {
@@ -225,12 +294,15 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 			}
 		}
 	}
+	p.mStageClassify.Observe(msSince(classifyStart, time.Now()))
+	p.mBadQuartets.Add(int64(len(badKeys)))
 	// Refresh the learned medians at day boundaries, as the production
 	// trailing-window job does.
 	if day := b.Day(); day > p.lastRelearnDay {
 		p.lastRelearnDay = day
 		p.Thresholds = p.Learner.Snapshot()
 		p.rebuildPassive()
+		p.mRelearns.Inc()
 	}
 	p.QuartetTracker.Advance(b, badKeys)
 	// Background baselines advance every bucket.
@@ -242,14 +314,21 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 	return p.runJob(b)
 }
 
+// msSince returns the wall time between two instants in milliseconds.
+func msSince(from, to time.Time) float64 {
+	return float64(to.Sub(from)) / float64(time.Millisecond)
+}
+
 // runJob executes the Algorithm 1 job over the accumulated window.
 func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
+	jobStart := time.Now()
 	from := b - netmodel.Bucket(p.Cfg.RunEvery) + 1
 	if p.windowPrimed && p.windowFrom > from {
 		// The run started on a bucket unaligned with the job cadence (or
 		// buckets were skipped): report only the buckets actually stepped.
 		from = p.windowFrom
 	}
+	p.mWindowQs.Observe(float64(len(p.window)))
 	rep := &Report{From: from, To: b}
 	// Localize each bucket of the window separately so aggregates stay
 	// time-consistent.
@@ -262,6 +341,8 @@ func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
 	// concurrently; per-bucket result slots are merged in bucket order to
 	// keep reports deterministic.
 	nb := int(rep.To-rep.From) + 1
+	p.mWindowBuckets.Observe(float64(nb))
+	localizeStart := time.Now()
 	perBucket := make([][]core.Result, nb)
 	parallel.ForEach(nb, parallel.Resolve(p.Cfg.Workers), func(i int) {
 		qs := byBucket[rep.From+netmodel.Bucket(i)]
@@ -275,6 +356,8 @@ func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
 	}
 	p.window = p.window[:0]
 	p.windowPrimed = false
+	activeStart := time.Now()
+	p.mStageLocalize.Observe(msSince(localizeStart, activeStart))
 
 	// Track middle-issue persistence at job granularity and run the active
 	// phase for the window's middle verdicts.
@@ -286,7 +369,19 @@ func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
 	p.Baseliner.Suppress(active.MiddleKeysOf(rep.Results), b+netmodel.Bucket(2*p.Cfg.RunEvery))
 	issues := active.GroupIssuesBy(rep.Results, b, p.keyFunc)
 	rep.Verdicts = p.Active.ProcessIssues(b, issues, p.MiddleTracker)
+	alertStart := time.Now()
+	p.mStageActive.Observe(msSince(activeStart, alertStart))
 	rep.Tickets = p.Alerter.Generate(b, rep.Results, rep.Verdicts)
+	end := time.Now()
+	p.mStageAlert.Observe(msSince(alertStart, end))
+	p.mJobMS.Observe(msSince(jobStart, end))
+	p.mJobs.Inc()
+
+	// Attach the interval's metric delta: everything accumulated since the
+	// previous report (collect + classify of the window plus this job).
+	cur := p.Metrics.Snapshot()
+	rep.Metrics = cur.Delta(p.lastSnap)
+	p.lastSnap = cur
 	return rep
 }
 

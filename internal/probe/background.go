@@ -2,6 +2,7 @@ package probe
 
 import (
 	"blameit/internal/bgp"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 )
 
@@ -53,6 +54,10 @@ type Baseliner struct {
 	// latency issue, so the "normal picture" is not overwritten by
 	// incident measurements.
 	suppressed map[netmodel.MiddleKey]netmodel.Bucket
+
+	mSuppressions *metrics.Counter
+	mSkipped      *metrics.Counter
+	mChurnDeduped *metrics.Counter
 }
 
 type repTarget struct {
@@ -91,6 +96,14 @@ func NewBaseliner(cfg BackgroundConfig, engine *Engine, table *bgp.Table) *Basel
 // being maintained.
 func (bg *Baseliner) NumPaths() int { return len(bg.reps) }
 
+// SetMetrics mirrors the baseliner's suppression and churn-dedup activity
+// into a metrics registry (probe.baseline.* counters).
+func (bg *Baseliner) SetMetrics(reg *metrics.Registry) {
+	bg.mSuppressions = reg.Counter("probe.baseline.suppressions")
+	bg.mSkipped = reg.Counter("probe.baseline.refreshes_suppressed")
+	bg.mChurnDeduped = reg.Counter("probe.baseline.churn_deduped")
+}
+
 // offset staggers periodic probes across the period so they do not all
 // fire in one bucket.
 func offset(mk netmodel.MiddleKey, period netmodel.Bucket) netmodel.Bucket {
@@ -119,6 +132,7 @@ func (bg *Baseliner) Suppress(keys []netmodel.MiddleKey, until netmodel.Bucket) 
 	for _, mk := range keys {
 		if bg.suppressed[mk] < until {
 			bg.suppressed[mk] = until
+			bg.mSuppressions.Inc()
 		}
 	}
 }
@@ -135,6 +149,7 @@ func (bg *Baseliner) Advance(b netmodel.Bucket) {
 				continue
 			}
 			if until, ok := bg.suppressed[mk]; ok && b < until {
+				bg.mSkipped.Inc()
 				continue
 			}
 			tr := bg.engine.Traceroute(rep.cloud, rep.prefix, b, Background)
@@ -150,6 +165,7 @@ func (bg *Baseliner) Advance(b netmodel.Bucket) {
 			nk := ev.NewPath.Key()
 			if bg.cfg.ChurnDedupeBuckets > 0 {
 				if age, ok := bg.BaselineAge(nk, b); ok && age <= bg.cfg.ChurnDedupeBuckets {
+					bg.mChurnDeduped.Inc()
 					continue
 				}
 			}

@@ -1,0 +1,116 @@
+package probe
+
+import (
+	"testing"
+
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+)
+
+// TestBudgetDayRollover exercises the day-boundary accounting: spend is
+// charged to the day of the requesting bucket, denials at the end of an
+// exhausted day are counted rather than dropped, and the first bucket of
+// the next day starts from a clean allowance.
+func TestBudgetDayRollover(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := NewBudget(3)
+	b.SetMetrics(reg)
+	lastOfDay0 := netmodel.Bucket(netmodel.BucketsPerDay - 1)
+	firstOfDay1 := netmodel.Bucket(netmodel.BucketsPerDay)
+
+	// Exhaust day 0 right at its final bucket.
+	for i := 0; i < 3; i++ {
+		if !b.TryTake(1, lastOfDay0) {
+			t.Fatalf("grant %d refused within allowance", i)
+		}
+	}
+	// Two more requests in the same bucket are denied — and recorded.
+	for i := 0; i < 2; i++ {
+		if b.TryTake(1, lastOfDay0) {
+			t.Fatal("grant above allowance")
+		}
+	}
+	if got := b.Denied(1, 0); got != 2 {
+		t.Errorf("Denied(day 0) = %d, want 2", got)
+	}
+	if got := b.Used(1, 0); got != 3 {
+		t.Errorf("Used(day 0) = %d, want 3", got)
+	}
+
+	// One bucket later it is a new day: full allowance, no carried debt.
+	if !b.TryTake(1, firstOfDay1) {
+		t.Fatal("first bucket of next day refused despite fresh allowance")
+	}
+	if got := b.Used(1, 1); got != 1 {
+		t.Errorf("Used(day 1) = %d, want 1", got)
+	}
+	if got := b.Denied(1, 1); got != 0 {
+		t.Errorf("Denied(day 1) = %d, want 0", got)
+	}
+	// Day 0's ledger is untouched by the rollover.
+	if b.Used(1, 0) != 3 || b.Denied(1, 0) != 2 {
+		t.Errorf("day 0 ledger changed after rollover: used=%d denied=%d", b.Used(1, 0), b.Denied(1, 0))
+	}
+
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("probe.budget.granted"); v != 4 {
+		t.Errorf("granted counter = %d, want 4", v)
+	}
+	if v, _ := snap.Counter("probe.budget.denied"); v != 2 {
+		t.Errorf("denied counter = %d, want 2", v)
+	}
+}
+
+// TestBudgetRolloverPerMiddleAS repeats the rollover check in PerMiddleAS
+// mode, where the ledger key is the first middle AS of the issue's path.
+func TestBudgetRolloverPerMiddleAS(t *testing.T) {
+	b := NewBudgetMode(1, PerMiddleAS)
+	path := netmodel.Path{Cloud: 1, Middle: []netmodel.ASN{2001}, Client: 10001}
+	other := netmodel.Path{Cloud: 1, Middle: []netmodel.ASN{2002}, Client: 10001}
+	lastOfDay0 := netmodel.Bucket(netmodel.BucketsPerDay - 1)
+	firstOfDay1 := netmodel.Bucket(netmodel.BucketsPerDay)
+
+	if !b.TryTakeForIssue(path, lastOfDay0) {
+		t.Fatal("first grant refused")
+	}
+	if b.TryTakeForIssue(path, lastOfDay0) {
+		t.Fatal("second grant allowed above per-AS allowance")
+	}
+	if got := b.DeniedFor(path, 0); got != 1 {
+		t.Errorf("DeniedFor(day 0) = %d, want 1", got)
+	}
+	// A different middle AS has its own allowance on the same day.
+	if !b.TryTakeForIssue(other, lastOfDay0) {
+		t.Fatal("per-AS isolation broken")
+	}
+	if got := b.DeniedFor(other, 0); got != 0 {
+		t.Errorf("DeniedFor(other AS) = %d, want 0", got)
+	}
+	// Rollover restores the exhausted AS.
+	if !b.TryTakeForIssue(path, firstOfDay1) {
+		t.Fatal("next-day grant refused in PerMiddleAS mode")
+	}
+	if got := b.DeniedFor(path, 1); got != 0 {
+		t.Errorf("DeniedFor(day 1) = %d, want 0", got)
+	}
+}
+
+// TestBudgetUnlimitedNeverDenies checks that an unlimited budget records
+// every grant in the metrics and never accumulates denials.
+func TestBudgetUnlimitedNeverDenies(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := NewBudget(0)
+	b.SetMetrics(reg)
+	for i := 0; i < 50; i++ {
+		if !b.TryTake(3, netmodel.Bucket(i*7)) {
+			t.Fatal("unlimited budget refused")
+		}
+	}
+	snap := reg.Snapshot()
+	if v, _ := snap.Counter("probe.budget.granted"); v != 50 {
+		t.Errorf("granted counter = %d, want 50", v)
+	}
+	if v, _ := snap.Counter("probe.budget.denied"); v != 0 {
+		t.Errorf("denied counter = %d, want 0", v)
+	}
+}

@@ -8,6 +8,7 @@ package probe
 import (
 	"fmt"
 
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/sim"
 )
@@ -95,11 +96,21 @@ type Engine struct {
 	// NoiseMS is the absolute per-hop measurement noise amplitude.
 	NoiseMS  float64
 	counters Counters
+	mCounts  [numPurposes]*metrics.Counter
 }
 
 // NewEngine creates a traceroute engine with the given per-hop noise.
 func NewEngine(s *sim.Simulator, noiseMS float64) *Engine {
 	return &Engine{Sim: s, NoiseMS: noiseMS}
+}
+
+// SetMetrics mirrors the engine's per-purpose probe accounting into a
+// metrics registry (probe.traceroutes.<purpose> counters). Call before
+// issuing probes; a nil registry leaves the engine uninstrumented.
+func (e *Engine) SetMetrics(reg *metrics.Registry) {
+	for p := Purpose(0); p < numPurposes; p++ {
+		e.mCounts[p] = reg.Counter("probe.traceroutes." + p.String())
+	}
 }
 
 // Counters returns the engine's probe accounting.
@@ -127,6 +138,7 @@ func (e *Engine) hopNoise(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.Bu
 // describes; the reverse-traceroute extension closes it.
 func (e *Engine) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute {
 	e.counters.counts[purpose]++
+	e.mCounts[purpose].Inc()
 	cons := e.Sim.Contributions(p, c, b)
 	path := e.Sim.Routes.PathAtForPrefix(c, p, b)
 	revExtra := e.Sim.ReverseExtra(p, c, b)
@@ -146,6 +158,7 @@ func (e *Engine) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.
 // is attributed to the AS that carries it.
 func (e *Engine) ReverseTraceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket) Traceroute {
 	e.counters.counts[ClientReverse]++
+	e.mCounts[ClientReverse].Inc()
 	path := e.Sim.ReversePathFor(p, c)
 	cons := e.Sim.World.BaseContributions(path, p)
 	for i := 1; i < len(cons)-1; i++ {
@@ -230,11 +243,20 @@ const (
 	PerMiddleAS
 )
 
-// Budget enforces the traceroute budget of §5.3, counted per day.
+// Budget enforces the traceroute budget of §5.3, counted per day. Spend is
+// keyed by (entity, day of the bucket), so the allowance resets exactly at
+// day boundaries: a request on the last bucket of a day draws on that day's
+// allowance and a request one bucket later draws on a fresh one. Denied
+// requests are counted per (entity, day) rather than silently dropped —
+// the denial rate is an operator-facing signal of an undersized budget.
 type Budget struct {
 	PerDay int
 	Mode   BudgetMode
 	used   map[budgetKey]int
+	denied map[budgetKey]int
+
+	mGranted *metrics.Counter
+	mDenied  *metrics.Counter
 }
 
 type budgetKey struct {
@@ -250,7 +272,14 @@ func NewBudget(n int) *Budget {
 
 // NewBudgetMode creates a budget with an explicit enforcement mode.
 func NewBudgetMode(n int, mode BudgetMode) *Budget {
-	return &Budget{PerDay: n, Mode: mode, used: make(map[budgetKey]int)}
+	return &Budget{PerDay: n, Mode: mode, used: make(map[budgetKey]int), denied: make(map[budgetKey]int)}
+}
+
+// SetMetrics mirrors grants and denials into a metrics registry
+// (probe.budget.granted / probe.budget.denied counters).
+func (bu *Budget) SetMetrics(reg *metrics.Registry) {
+	bu.mGranted = reg.Counter("probe.budget.granted")
+	bu.mDenied = reg.Counter("probe.budget.denied")
 }
 
 // TryTake consumes one traceroute from cloud c's budget on the day of
@@ -270,17 +299,36 @@ func (bu *Budget) TryTakeForIssue(path netmodel.Path, b netmodel.Bucket) bool {
 
 func (bu *Budget) take(id int, b netmodel.Bucket) bool {
 	if bu.PerDay <= 0 {
+		bu.mGranted.Inc()
 		return true
 	}
 	k := budgetKey{id, b.Day()}
 	if bu.used[k] >= bu.PerDay {
+		bu.denied[k]++
+		bu.mDenied.Inc()
 		return false
 	}
 	bu.used[k]++
+	bu.mGranted.Inc()
 	return true
 }
 
 // Used reports the budget consumed by cloud c on a day (PerCloud mode).
 func (bu *Budget) Used(c netmodel.CloudID, day int) int {
 	return bu.used[budgetKey{int(c), day}]
+}
+
+// Denied reports the requests cloud c had denied on a day (PerCloud mode).
+func (bu *Budget) Denied(c netmodel.CloudID, day int) int {
+	return bu.denied[budgetKey{int(c), day}]
+}
+
+// DeniedFor reports the denials charged to the entity the given path maps
+// to under the configured mode (the first middle AS in PerMiddleAS mode,
+// the cloud location otherwise).
+func (bu *Budget) DeniedFor(path netmodel.Path, day int) int {
+	if bu.Mode == PerMiddleAS && len(path.Middle) > 0 {
+		return bu.denied[budgetKey{int(path.Middle[0]), day}]
+	}
+	return bu.denied[budgetKey{int(path.Cloud), day}]
 }

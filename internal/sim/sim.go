@@ -22,6 +22,7 @@ import (
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
 	"blameit/internal/ipaddr"
+	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/parallel"
 	"blameit/internal/topology"
@@ -56,6 +57,11 @@ type Config struct {
 	// hash-derived and per-shard buffers are merged in prefix order, the
 	// output stream is identical at any worker count.
 	Workers int
+	// Metrics receives the simulator's generation accounting (observation
+	// and sample counts, shard fan-out). Nil falls back to the process
+	// default registry, which is itself nil — i.e. uninstrumented — unless
+	// metrics.EnableDefault was called.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the calibrated simulator settings. Workers is left
@@ -91,6 +97,13 @@ type Simulator struct {
 	mu         sync.Mutex
 	obsScratch [][]Observation
 	smpScratch [][]trace.Sample
+
+	// Metric handles (nil-safe no-ops when uninstrumented).
+	mObservations *metrics.Counter
+	mSamples      *metrics.Counter
+	mRunsParallel *metrics.Counter
+	mRunsSeq      *metrics.Counter
+	mFanoutMax    *metrics.Gauge
 }
 
 // New creates a simulator. The routing table and fault schedule may cover
@@ -105,6 +118,15 @@ func New(w *topology.World, routes *bgp.Table, sched *faults.Schedule, cfg Confi
 		weekendFactor: make(map[netmodel.ASN]float64),
 		eveningPeak:   make(map[netmodel.ASN]float64),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	s.mObservations = reg.Counter("sim.observations.generated")
+	s.mSamples = reg.Counter("sim.samples.generated")
+	s.mRunsParallel = reg.Counter("sim.generation.runs.parallel")
+	s.mRunsSeq = reg.Counter("sim.generation.runs.sequential")
+	s.mFanoutMax = reg.Gauge("sim.generation.fanout.max")
 	for _, reg := range netmodel.AllRegions() {
 		for _, asn := range w.Eyeballs[reg] {
 			// Only a subset of ISPs congest in the evening: well-provisioned
@@ -345,9 +367,13 @@ const minParallelPrefixes = 64
 // sequential walk.
 func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Observation {
 	n := len(s.World.Prefixes)
+	before := len(buf)
 	workers := parallel.Resolve(s.cfg.Workers)
 	if workers <= 1 || n < minParallelPrefixes {
-		return s.observationsRange(b, 0, n, buf)
+		buf = s.observationsRange(b, 0, n, buf)
+		s.mRunsSeq.Inc()
+		s.mObservations.Add(int64(len(buf) - before))
+		return buf
 	}
 	shards := parallel.Shards(n, workers)
 	bufs := s.checkoutObs(len(shards))
@@ -358,6 +384,9 @@ func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Obser
 		buf = append(buf, sb...)
 	}
 	s.checkinObs(bufs)
+	s.mRunsParallel.Inc()
+	s.mFanoutMax.SetMax(int64(len(shards)))
+	s.mObservations.Add(int64(len(buf) - before))
 	return buf
 }
 
@@ -442,9 +471,12 @@ func (s *Simulator) Observe(p netmodel.PrefixID, c netmodel.CloudID, weight floa
 func (s *Simulator) SamplesAt(b netmodel.Bucket, buf []trace.Sample) []trace.Sample {
 	var obs []Observation
 	obs = s.ObservationsAt(b, obs)
+	before := len(buf)
 	workers := parallel.Resolve(s.cfg.Workers)
 	if workers <= 1 || len(obs) < minParallelPrefixes {
-		return s.samplesRange(b, obs, buf)
+		buf = s.samplesRange(b, obs, buf)
+		s.mSamples.Add(int64(len(buf) - before))
+		return buf
 	}
 	shards := parallel.Shards(len(obs), workers)
 	bufs := s.checkoutSamples(len(shards))
@@ -455,6 +487,8 @@ func (s *Simulator) SamplesAt(b netmodel.Bucket, buf []trace.Sample) []trace.Sam
 		buf = append(buf, sb...)
 	}
 	s.checkinSamples(bufs)
+	s.mFanoutMax.SetMax(int64(len(shards)))
+	s.mSamples.Add(int64(len(buf) - before))
 	return buf
 }
 

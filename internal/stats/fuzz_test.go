@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// floatsFromBytes expands a fuzz byte string into a float64 sample. Each
+// byte becomes one observation; the spread keeps values small and finite
+// so invariant violations are ordering bugs, not float-overflow artifacts.
+func floatsFromBytes(data []byte) []float64 {
+	xs := make([]float64, len(data))
+	for i, b := range data {
+		xs[i] = float64(int(b)-128) * 0.5
+	}
+	return xs
+}
+
+// FuzzQuantileMonotonicity checks the core order-statistic invariants of
+// Quantile on arbitrary samples: results are bounded by the sample min and
+// max, and a higher quantile never returns a smaller value.
+func FuzzQuantileMonotonicity(f *testing.F) {
+	f.Add([]byte{}, 0.5, 0.9)
+	f.Add([]byte{1}, 0.0, 1.0)
+	f.Add([]byte{200, 1, 128, 128, 7}, 0.25, 0.75)
+	f.Add([]byte{0, 255}, 0.9, 0.1)
+	f.Add([]byte{42, 42, 42}, -1.0, 2.0)
+	f.Fuzz(func(t *testing.T, data []byte, q1, q2 float64) {
+		if math.IsNaN(q1) || math.IsNaN(q2) {
+			return
+		}
+		xs := floatsFromBytes(data)
+		if len(xs) == 0 {
+			if v := Quantile(xs, q1); v != 0 {
+				t.Fatalf("Quantile(empty, %v) = %v, want 0", q1, v)
+			}
+			return
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1, v2 := Quantile(xs, q1), Quantile(xs, q2)
+		if v1 > v2 {
+			t.Fatalf("Quantile not monotone: q=%v -> %v > q=%v -> %v (n=%d)", q1, v1, q2, v2, len(xs))
+		}
+		for _, v := range []float64{v1, v2} {
+			if v < lo || v > hi {
+				t.Fatalf("Quantile escaped sample range: %v not in [%v, %v]", v, lo, hi)
+			}
+		}
+		// The quantile path must agree with Median's shortcut.
+		if m := Median(xs); m != Quantile(xs, 0.5) {
+			t.Fatalf("Median = %v disagrees with Quantile(0.5) = %v", m, Quantile(xs, 0.5))
+		}
+	})
+}
+
+// FuzzSummarizeOrdering checks that Summarize keeps its order statistics
+// sorted (min <= p10 <= p50 <= p90 <= p99 <= max) and the mean inside the
+// sample range, for any input.
+func FuzzSummarizeOrdering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{128})
+	f.Add([]byte{0, 255, 0, 255})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := floatsFromBytes(data)
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			t.Fatalf("N = %d, want %d", s.N, len(xs))
+		}
+		if len(xs) == 0 {
+			return
+		}
+		seq := []float64{s.Min, s.P10, s.P50, s.P90, s.P99, s.Max}
+		for i := 1; i < len(seq); i++ {
+			if seq[i-1] > seq[i] {
+				t.Fatalf("summary order statistics not sorted: %+v", s)
+			}
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean %v outside [%v, %v]", s.Mean, s.Min, s.Max)
+		}
+	})
+}
+
+// FuzzCDFQuantileAgreement checks that the CDF wrapper and the standalone
+// Quantile agree on any sample, and that CDF.At is a proper CDF: values in
+// [0,1] and non-decreasing in its argument.
+func FuzzCDFQuantileAgreement(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 0.5, 1.5)
+	f.Add([]byte{255, 0}, -10.0, 10.0)
+	f.Add([]byte{}, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, data []byte, x1, x2 float64) {
+		if math.IsNaN(x1) || math.IsNaN(x2) {
+			return
+		}
+		xs := floatsFromBytes(data)
+		c := NewCDF(xs)
+		if c.N() != len(xs) {
+			t.Fatalf("CDF.N = %d, want %d", c.N(), len(xs))
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			if got, want := c.Quantile(q), Quantile(xs, q); got != want {
+				t.Fatalf("CDF.Quantile(%v) = %v, Quantile = %v", q, got, want)
+			}
+		}
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		p1, p2 := c.At(x1), c.At(x2)
+		if p1 < 0 || p1 > 1 || p2 < 0 || p2 > 1 {
+			t.Fatalf("CDF.At out of [0,1]: At(%v)=%v At(%v)=%v", x1, p1, x2, p2)
+		}
+		if p1 > p2 {
+			t.Fatalf("CDF.At not monotone: At(%v)=%v > At(%v)=%v", x1, p1, x2, p2)
+		}
+	})
+}

@@ -58,7 +58,17 @@ func sortedQuantile(s []float64, q float64) float64 {
 	if lo+1 >= len(s) {
 		return s[len(s)-1]
 	}
-	return s[lo]*(1-frac) + s[lo+1]*frac
+	// a + frac*(b-a) instead of a*(1-frac) + b*frac: the symmetric form can
+	// round an ulp below a when interpolating between equal order statistics,
+	// which breaks quantile monotonicity. The clamp pins the few remaining
+	// rounding escapes to the bracketing order statistics.
+	v := s[lo] + frac*(s[lo+1]-s[lo])
+	if v < s[lo] {
+		v = s[lo]
+	} else if v > s[lo+1] {
+		v = s[lo+1]
+	}
+	return v
 }
 
 // Summary holds descriptive statistics of a sample.
