@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-parallel cover verify
+.PHONY: all build vet test race bench-parallel bench-replay cover verify
 
 all: verify
 
@@ -15,14 +15,20 @@ test:
 
 # The packages that fan work out across goroutines (sharded observation
 # generation, the parallel Algorithm 1 job) plus the localizer they call
-# concurrently, under the race detector.
+# concurrently and the ingestion layer the pipeline reads through, under
+# the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/...
 
 # Sequential-vs-parallel full-day pipeline pair; on an N-core machine the
 # parallel variant should approach N x (output is identical either way).
 bench-parallel:
 	$(GO) test -run NONE -bench 'BenchmarkPipeline(Sequential|Parallel)$$' -benchtime 3x .
+
+# Ingestion-path comparison: live sim generation vs. the store-backed §6.1
+# scan path vs. streaming JSONL trace replay, half a day of records each.
+bench-replay:
+	$(GO) test -run NONE -bench 'BenchmarkIngest(LiveSim|StoreBacked|StreamReplay)$$' -benchtime 3x .
 
 # Coverage over every package (-short skips the multi-minute integration
 # runs), printing the module total; leaves cover.out behind for

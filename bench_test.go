@@ -7,12 +7,15 @@
 package bench
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/experiments"
 	"blameit/internal/faults"
+	"blameit/internal/ingest"
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
 	"blameit/internal/probe"
@@ -281,7 +284,7 @@ func ablationRun(b *testing.B, cfg core.Config) (clientFrac float64) {
 	s := sim.New(w, tbl, faults.NewSchedule([]faults.Fault{f}), sim.DefaultConfig(benchSeed+3))
 	pcfg := pipeline.DefaultConfig()
 	pcfg.Core = cfg
-	p := pipeline.New(s, pcfg)
+	p := pipeline.NewSim(s, pcfg)
 	p.Warmup(0, netmodel.BucketsPerDay)
 	var hits, total int
 	p.Run(f.Start, f.End(), func(rep *pipeline.Report) {
@@ -333,7 +336,7 @@ func cloudFaultRecall(cfg core.Config) float64 {
 	s := sim.New(w, tbl, faults.NewSchedule([]faults.Fault{f}), sim.DefaultConfig(benchSeed+3))
 	pcfg := pipeline.DefaultConfig()
 	pcfg.Core = cfg
-	p := pipeline.New(s, pcfg)
+	p := pipeline.NewSim(s, pcfg)
 	p.Warmup(0, netmodel.BucketsPerDay)
 	var hits, total int
 	p.Run(f.Start, f.End(), func(rep *pipeline.Report) {
@@ -507,7 +510,7 @@ func BenchmarkAblationBudgetMode(b *testing.B) {
 			}
 		})
 		_ = start
-		return p.Engine.Counters().Count(probe.OnDemand), len(seen)
+		return p.Prober.Counters().Count(probe.OnDemand), len(seen)
 	}
 	var cloudProbes, asProbes int64
 	var cloudIssues, asIssues int
@@ -519,4 +522,77 @@ func BenchmarkAblationBudgetMode(b *testing.B) {
 	b.ReportMetric(float64(cloudIssues), "per-cloud-issues")
 	b.ReportMetric(float64(asProbes), "per-as-probes")
 	b.ReportMetric(float64(asIssues), "per-as-issues")
+}
+
+// --- Ingestion-path benches (the bench-replay Makefile target) ---
+
+// benchIngestSim builds the fault-free small-world simulator the ingestion
+// benches share.
+func benchIngestSim() *sim.Simulator {
+	w := topology.Generate(benchScale(), benchSeed)
+	horizon := netmodel.Bucket(netmodel.BucketsPerDay)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, benchSeed+2)
+	return sim.New(w, tbl, faults.NewSchedule(nil), sim.DefaultConfig(benchSeed+3))
+}
+
+// benchDrainSource reads half a day of buckets through a source, reporting
+// record throughput.
+func benchDrainSource(b *testing.B, mk func() ingest.ObservationSource) {
+	ctx := context.Background()
+	horizon := netmodel.Bucket(netmodel.BucketsPerDay / 2)
+	var records int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := mk()
+		var buf []trace.Observation
+		records = 0
+		for bk := netmodel.Bucket(0); bk < horizon; bk++ {
+			var err error
+			buf, err = src.ObservationsAt(ctx, bk, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			records += int64(len(buf))
+		}
+	}
+	b.ReportMetric(float64(records), "records/op")
+}
+
+// BenchmarkIngestLiveSim drains observations straight from the simulator:
+// the zero-storage upper bound on ingestion throughput.
+func BenchmarkIngestLiveSim(b *testing.B) {
+	s := benchIngestSim()
+	benchDrainSource(b, func() ingest.ObservationSource { return ingest.NewSimSource(s) })
+}
+
+// BenchmarkIngestStoreBacked drains through the full §6.1 path — write
+// into hourly-window storage buckets, read back via scan-everything — the
+// live pipeline's default wiring.
+func BenchmarkIngestStoreBacked(b *testing.B) {
+	s := benchIngestSim()
+	benchDrainSource(b, func() ingest.ObservationSource {
+		st := trace.NewStore(8)
+		st.SetRetention(pipeline.SimDepsRetention)
+		return ingest.NewStoreIngest(ingest.NewSimSource(s), st)
+	})
+}
+
+// BenchmarkIngestStreamReplay drains a recorded JSONL trace through the
+// streaming reader, measuring replay (decode-bound) throughput.
+func BenchmarkIngestStreamReplay(b *testing.B) {
+	s := benchIngestSim()
+	horizon := netmodel.Bucket(netmodel.BucketsPerDay / 2)
+	var file bytes.Buffer
+	var buf []trace.Observation
+	for bk := netmodel.Bucket(0); bk < horizon; bk++ {
+		buf = s.ObservationsAt(bk, buf[:0])
+		if err := trace.WriteJSONL(&file, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	raw := file.Bytes()
+	b.SetBytes(int64(len(raw)))
+	benchDrainSource(b, func() ingest.ObservationSource {
+		return ingest.NewStreamSource(bytes.NewReader(raw))
+	})
 }

@@ -16,11 +16,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
@@ -43,6 +46,11 @@ func main() {
 		outFile     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM stop generation at the next bucket boundary, leaving a
+	// valid (truncated) bucket-ordered trace behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var scale topology.Scale
 	switch *scaleName {
@@ -87,7 +95,7 @@ func main() {
 	switch *level {
 	case "quartet":
 		var buf []trace.Observation
-		for b := netmodel.Bucket(0); b < horizon; b++ {
+		for b := netmodel.Bucket(0); b < horizon && ctx.Err() == nil; b++ {
 			buf = s.ObservationsAt(b, buf[:0])
 			if err := trace.WriteJSONL(out, buf); err != nil {
 				fmt.Fprintln(os.Stderr, "tracegen:", err)
@@ -98,7 +106,7 @@ func main() {
 	case "sample":
 		enc := json.NewEncoder(out)
 		var buf []trace.Sample
-		for b := netmodel.Bucket(0); b < horizon; b++ {
+		for b := netmodel.Bucket(0); b < horizon && ctx.Err() == nil; b++ {
 			buf = s.SamplesAt(b, buf[:0])
 			for i := range buf {
 				if err := enc.Encode(&buf[i]); err != nil {

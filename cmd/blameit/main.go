@@ -7,17 +7,31 @@
 //
 //	blameit [-scale small|medium|large] [-seed N] [-days N] [-warmup N]
 //	        [-workload random|cases|battery|none] [-budget N] [-top N]
-//	        [-workers N] [-metrics] [-v]
+//	        [-workers N] [-replay FILE] [-metrics] [-v]
+//
+// With -replay, passive observations are read from a recorded JSONL trace
+// (blameit-tracegen output; "-" reads stdin) instead of being generated
+// live. A replay with the same -scale/-seed/-workload as the recording —
+// and a tracegen horizon covering warmup+days days — reproduces the live
+// run's reports byte for byte:
+//
+//	blameit-tracegen -seed 42 -days 2 | blameit -replay - -seed 42 -days 1
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/faults"
+	"blameit/internal/ingest"
 	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
@@ -39,102 +53,156 @@ func scaleByName(name string) (topology.Scale, error) {
 	}
 }
 
+type options struct {
+	scaleName   string
+	seed        int64
+	days        int
+	warmup      int
+	workload    string
+	budget      int
+	topN        int
+	workers     int
+	replayPath  string
+	dumpMetrics bool
+	verbose     bool
+}
+
 func main() {
-	var (
-		scaleName   = flag.String("scale", "small", "world scale: small, medium or large")
-		seed        = flag.Int64("seed", 42, "deterministic seed for the world, faults and noise")
-		days        = flag.Int("days", 2, "days to run after warmup")
-		warmup      = flag.Int("warmup", 1, "warmup days for expected-RTT learning")
-		workload    = flag.String("workload", "random", "fault workload: random, cases, battery or none")
-		budget      = flag.Int("budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
-		topN        = flag.Int("top", 5, "tickets to print per job run")
-		workers     = flag.Int("workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
-		dumpMetrics = flag.Bool("metrics", false, "dump the pipeline metrics snapshot as JSON on exit")
-		verbose     = flag.Bool("v", false, "print every job run, not only runs with tickets")
-	)
+	var o options
+	flag.StringVar(&o.scaleName, "scale", "small", "world scale: small, medium or large")
+	flag.Int64Var(&o.seed, "seed", 42, "deterministic seed for the world, faults and noise")
+	flag.IntVar(&o.days, "days", 2, "days to run after warmup")
+	flag.IntVar(&o.warmup, "warmup", 1, "warmup days for expected-RTT learning")
+	flag.StringVar(&o.workload, "workload", "random", "fault workload: random, cases, battery or none")
+	flag.IntVar(&o.budget, "budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
+	flag.IntVar(&o.topN, "top", 5, "tickets to print per job run")
+	flag.IntVar(&o.workers, "workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
+	flag.StringVar(&o.replayPath, "replay", "", "replay passive observations from a recorded JSONL trace instead of generating them (\"-\" = stdin)")
+	flag.BoolVar(&o.dumpMetrics, "metrics", false, "dump the pipeline metrics snapshot as JSON on exit")
+	flag.BoolVar(&o.verbose, "v", false, "print every job run, not only runs with tickets")
 	flag.Parse()
 
-	if err := run(*scaleName, *seed, *days, *warmup, *workload, *budget, *topN, *workers, *dumpMetrics, *verbose); err != nil {
+	// SIGINT/SIGTERM stop the run between buckets; learned state stays
+	// consistent up to the last completed bucket.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, o); err != nil {
 		fmt.Fprintln(os.Stderr, "blameit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, days, warmup int, workload string, budget, topN, workers int, dumpMetrics, verbose bool) error {
-	scale, err := scaleByName(scaleName)
+func run(ctx context.Context, o options) error {
+	scale, err := scaleByName(o.scaleName)
 	if err != nil {
 		return err
 	}
-	if days < 1 || warmup < 1 {
+	if o.days < 1 || o.warmup < 1 {
 		return fmt.Errorf("days and warmup must be positive")
 	}
-	w := topology.Generate(scale, seed)
-	horizon := netmodel.Bucket((warmup + days) * netmodel.BucketsPerDay)
-	warmupEnd := netmodel.Bucket(warmup * netmodel.BucketsPerDay)
+	w := topology.Generate(scale, o.seed)
+	horizon := netmodel.Bucket((o.warmup + o.days) * netmodel.BucketsPerDay)
+	warmupEnd := netmodel.Bucket(o.warmup * netmodel.BucketsPerDay)
 
 	var fs []faults.Fault
-	switch workload {
+	switch o.workload {
 	case "random":
-		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, seed+1).Faults
+		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, o.seed+1).Faults
 	case "cases":
-		for _, sc := range faults.CaseStudies(w, seed+1) {
+		for _, sc := range faults.CaseStudies(w, o.seed+1) {
 			f := sc.Fault
 			f.Start += warmupEnd
 			fs = append(fs, f)
 			fmt.Printf("scenario %-28s %s\n", sc.Name+":", sc.Desc)
 		}
 	case "battery":
-		for _, sc := range faults.IncidentBattery(w, 88, warmupEnd+2*netmodel.BucketsPerHour, 6, seed+1) {
+		for _, sc := range faults.IncidentBattery(w, 88, warmupEnd+2*netmodel.BucketsPerHour, 6, o.seed+1) {
 			fs = append(fs, sc.Fault)
 		}
 	case "none":
 	default:
-		return fmt.Errorf("unknown workload %q (random|cases|battery|none)", workload)
+		return fmt.Errorf("unknown workload %q (random|cases|battery|none)", o.workload)
 	}
 
 	st := w.Stats()
 	fmt.Printf("world: %d clouds, %d metros, %d ASes, %d BGP prefixes, %d /24s, %d active clients\n",
 		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
-	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup\n\n", workload, len(fs), days, warmup)
+	mode := "live"
+	if o.replayPath != "" {
+		mode = "replay of " + o.replayPath
+	}
+	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup, ingestion: %s\n\n",
+		o.workload, len(fs), o.days, o.warmup, mode)
 
 	reg := metrics.NewRegistry()
-	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, seed+2)
-	scfg := sim.DefaultConfig(seed + 3)
-	scfg.Workers = workers
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, o.seed+2)
+	scfg := sim.DefaultConfig(o.seed + 3)
+	scfg.Workers = o.workers
 	scfg.Metrics = reg
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 	cfg := pipeline.DefaultConfig()
-	cfg.BudgetPerCloudPerDay = budget
-	cfg.TopNAlerts = topN
-	cfg.Workers = workers
+	cfg.BudgetPerCloudPerDay = o.budget
+	cfg.TopNAlerts = o.topN
+	cfg.Workers = o.workers
 	cfg.Metrics = reg
-	p := pipeline.New(s, cfg)
 
-	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", warmup)
-	p.Warmup(0, warmupEnd)
+	// The observation source is the only thing replay changes: probes still
+	// come from the deterministic engine over the same world, which is why
+	// a matching trace reproduces the live reports byte for byte.
+	deps := pipeline.SimDeps(s, cfg.ProbeNoiseMS)
+	var stream *ingest.StreamSource
+	if o.replayPath != "" {
+		var in io.Reader = os.Stdin
+		if o.replayPath != "-" {
+			f, err := os.Open(o.replayPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		stream = ingest.NewStreamSource(in)
+		deps.Source = stream
+		deps.Store = nil
+	}
+	p := pipeline.New(deps, cfg)
+
+	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", o.warmup)
+	if err := p.WarmupContext(ctx, 0, warmupEnd); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted during warmup; nothing to report")
+			return nil
+		}
+		return err
+	}
 	fmt.Printf("learned %d cloud and %d middle-segment medians\n\n",
 		p.Thresholds.NumCloudEntries(), p.Thresholds.NumMiddleEntries())
 
 	totals := make(map[core.Blame]int)
 	ticketCount := 0
-	p.Run(warmupEnd, horizon, func(rep *pipeline.Report) {
+	runErr := p.RunContext(ctx, warmupEnd, horizon, func(rep *pipeline.Report) {
 		for _, r := range rep.Results {
 			totals[r.Blame]++
 		}
-		if len(rep.Tickets) == 0 && !verbose {
+		if len(rep.Tickets) == 0 && !o.verbose {
 			return
 		}
-		if len(rep.Tickets) > 0 || verbose {
-			day := rep.To.Day() - warmup
-			fmt.Printf("[day %d %02d:%02d] %d verdicts, %d middle issues probed\n",
-				day, rep.To.HourOfDay(), (rep.To.OfDay()%netmodel.BucketsPerHour)*netmodel.BucketMinutes,
-				len(rep.Results), len(rep.Verdicts))
-			for _, t := range rep.Tickets {
-				ticketCount++
-				fmt.Printf("  ticket #%d -> %s: %s\n", t.ID, t.Team, t.Summary)
-			}
+		day := rep.To.Day() - o.warmup
+		fmt.Printf("[day %d %02d:%02d] %d verdicts, %d middle issues probed\n",
+			day, rep.To.HourOfDay(), (rep.To.OfDay()%netmodel.BucketsPerHour)*netmodel.BucketMinutes,
+			len(rep.Results), len(rep.Verdicts))
+		for _, t := range rep.Tickets {
+			ticketCount++
+			fmt.Printf("  ticket #%d -> %s: %s\n", t.ID, t.Team, t.Summary)
 		}
 	})
+	if runErr != nil {
+		if !errors.Is(runErr, context.Canceled) {
+			return runErr
+		}
+		fmt.Println("\ninterrupted; summarizing completed buckets")
+	}
 	incidents := p.Flush()
 
 	fmt.Printf("\n=== summary ===\n")
@@ -149,11 +217,18 @@ func run(scaleName string, seed int64, days, warmup int, workload string, budget
 		}
 		fmt.Printf("%-13s %8d verdicts (%.1f%%)\n", cat.String(), totals[cat], frac*100)
 	}
-	cnt := p.Engine.Counters()
+	cnt := p.Prober.Counters()
 	fmt.Printf("\nprobes: %d background, %d churn-triggered, %d on-demand (%d total)\n",
 		cnt.Count(probe.Background), cnt.Count(probe.ChurnTriggered), cnt.Count(probe.OnDemand), cnt.Total())
 	fmt.Printf("badness incidents tracked: %d; tickets filed: %d\n", len(incidents), ticketCount)
-	if dumpMetrics {
+	if p.Store != nil {
+		fmt.Printf("ingestion store: scanned %d storage buckets / %d records, %d windows resident (%d evicted)\n",
+			p.Store.ScannedBuckets(), p.Store.ScannedRecords(), p.Store.NumWindows(), p.Store.EvictedWindows())
+	}
+	if stream != nil {
+		fmt.Printf("trace replay: consumed %d records\n", stream.Records())
+	}
+	if o.dumpMetrics {
 		fmt.Println()
 		if err := p.Metrics.Snapshot().WriteJSON(os.Stdout); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
@@ -15,15 +16,35 @@ func TestScaleByName(t *testing.T) {
 	}
 }
 
+// opts returns a small, fast option set tests tweak per case.
+func opts() options {
+	return options{
+		scaleName: "small", seed: 1, days: 1, warmup: 1,
+		workload: "random", budget: 0, topN: 5, workers: 1,
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("nope", 1, 1, 1, "random", 0, 5, 0, false, false); err == nil {
+	ctx := context.Background()
+	o := opts()
+	o.scaleName = "nope"
+	if err := run(ctx, o); err == nil {
 		t.Error("bad scale accepted")
 	}
-	if err := run("small", 1, 0, 1, "random", 0, 5, 0, false, false); err == nil {
+	o = opts()
+	o.days = 0
+	if err := run(ctx, o); err == nil {
 		t.Error("zero days accepted")
 	}
-	if err := run("small", 1, 1, 1, "martian", 0, 5, 0, false, false); err == nil {
+	o = opts()
+	o.workload = "martian"
+	if err := run(ctx, o); err == nil {
 		t.Error("bad workload accepted")
+	}
+	o = opts()
+	o.replayPath = "testdata/definitely-missing.jsonl"
+	if err := run(ctx, o); err == nil {
+		t.Error("missing replay file accepted")
 	}
 }
 
@@ -33,7 +54,28 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	// One warmup day plus one quiet day; output goes to stdout, which the
 	// test harness captures.
-	if err := run("small", 7, 1, 1, "none", 10, 3, 1, true, false); err != nil {
+	o := options{
+		scaleName: "small", seed: 7, days: 1, warmup: 1,
+		workload: "none", budget: 10, topN: 3, workers: 1, dumpMetrics: true,
+	}
+	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CLI run in -short mode")
+	}
+	// A pre-cancelled context must not error out: the CLI treats Canceled
+	// as a clean early stop wherever it lands (here, during warmup).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := options{
+		scaleName: "small", seed: 7, days: 1, warmup: 1,
+		workload: "none", budget: 10, topN: 3, workers: 1,
+	}
+	if err := run(ctx, o); err != nil {
+		t.Fatalf("cancelled run returned error: %v", err)
 	}
 }

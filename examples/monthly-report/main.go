@@ -38,7 +38,7 @@ func main() {
 	sched := faults.Generate(world, faults.DefaultGenerateConfig(), horizon, 78)
 	table := bgp.NewTable(world, bgp.DefaultChurnConfig(), horizon, 79)
 	simulator := sim.New(world, table, sched, sim.DefaultConfig(80))
-	p := pipeline.New(simulator, pipeline.DefaultConfig())
+	p := pipeline.NewSim(simulator, pipeline.DefaultConfig())
 
 	fmt.Printf("running %d day(s) with %d random faults...\n\n", days, len(sched.Faults))
 	p.Warmup(0, netmodel.Bucket(warmup*netmodel.BucketsPerDay))

@@ -49,7 +49,7 @@ func main() {
 
 	cfg := pipeline.DefaultConfig()
 	cfg.BudgetPerCloudPerDay = 2 // a very tight budget
-	p := pipeline.New(simulator, cfg)
+	p := pipeline.NewSim(simulator, cfg)
 	p.Warmup(0, netmodel.BucketsPerDay)
 
 	probedClientTime := make(map[netmodel.ASN]float64)

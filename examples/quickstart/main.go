@@ -47,7 +47,7 @@ func main() {
 	horizon := netmodel.Bucket(3 * netmodel.BucketsPerDay)
 	table := bgp.NewTable(world, bgp.DefaultChurnConfig(), horizon, 8)
 	simulator := sim.New(world, table, faults.NewSchedule([]faults.Fault{fault}), sim.DefaultConfig(9))
-	p := pipeline.New(simulator, pipeline.DefaultConfig())
+	p := pipeline.NewSim(simulator, pipeline.DefaultConfig())
 
 	// 4. Learn each location's and middle segment's expected RTT (the
 	// production system uses a trailing 14-day median).

@@ -149,9 +149,11 @@ type Verdict struct {
 	IncreaseMS float64
 }
 
-// Localizer runs the active phase.
+// Localizer runs the active phase. Probes are issued through the Prober
+// interface, so the same localization logic runs against the live
+// traceroute engine or a recorded-probe replay.
 type Localizer struct {
-	Engine    *probe.Engine
+	Prober    probe.Prober
 	Baseliner *probe.Baseliner
 	Budget    *probe.Budget
 	Durations *predict.DurationPredictor
@@ -159,8 +161,8 @@ type Localizer struct {
 }
 
 // NewLocalizer assembles the active phase from its parts.
-func NewLocalizer(e *probe.Engine, bg *probe.Baseliner, bu *probe.Budget, dp *predict.DurationPredictor, cp *predict.ClientPredictor) *Localizer {
-	return &Localizer{Engine: e, Baseliner: bg, Budget: bu, Durations: dp, Clients: cp}
+func NewLocalizer(pr probe.Prober, bg *probe.Baseliner, bu *probe.Budget, dp *predict.DurationPredictor, cp *predict.ClientPredictor) *Localizer {
+	return &Localizer{Prober: pr, Baseliner: bg, Budget: bu, Durations: dp, Clients: cp}
 }
 
 // Estimate fills an issue's client-time product from the two predictors:
@@ -211,7 +213,7 @@ func (l *Localizer) ProcessIssues(b netmodel.Bucket, issues []Issue, tr *Tracker
 			v.Probed = true
 			// One traceroute per middle issue, to a representative client.
 			target := is.Prefixes[0]
-			now := l.Engine.Traceroute(is.Cloud, target, b, probe.OnDemand)
+			now := l.Prober.Traceroute(is.Cloud, target, b, probe.OnDemand)
 			// The baseline is looked up by the path the probe actually
 			// took, and must predate the issue's start — comparing against
 			// a measurement taken during the incident would hide it. When

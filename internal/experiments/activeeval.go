@@ -404,7 +404,7 @@ func Figure13FrequencySweep(mw MiddleWorkload) (*Figure, Fig13Result) {
 			cfg.Background = probe.BackgroundConfig{PeriodBuckets: period, OnChurn: churn, ChurnDedupeBuckets: netmodel.BucketsPerHour}
 			r := env.RunMiddleEval(MiddleEvalConfig{Pipeline: cfg, WarmupDays: mw.WarmupDays, From: start, To: end})
 			days = float64(end) / float64(netmodel.BucketsPerDay)
-			cnt := r.Pipe.Engine.Counters()
+			cnt := r.Pipe.Prober.Counters()
 			perDay := float64(cnt.Count(probe.Background)+cnt.Count(probe.ChurnTriggered)) / days
 			bgPerDay := float64(cnt.Count(probe.Background)) / days
 			pt := Fig13Point{PeriodBuckets: period, OnChurn: churn, Accuracy: r.Accuracy(), ProbesPerDay: perDay}
@@ -466,7 +466,7 @@ func ProbeOverhead(mw MiddleWorkload) (*Table, ProbeOverheadResult) {
 	cfg := pipeline.DefaultConfig()
 	r := env.RunMiddleEval(MiddleEvalConfig{Pipeline: cfg, WarmupDays: mw.WarmupDays, From: start, To: end})
 	days := float64(end) / float64(netmodel.BucketsPerDay)
-	res.BlameItPerDay = float64(r.Pipe.Engine.Counters().Total()) / days
+	res.BlameItPerDay = float64(r.Pipe.Prober.Counters().Total()) / days
 
 	// Active-only: every path probed every 10 minutes (the volume the
 	// paper rules out as prohibitive).

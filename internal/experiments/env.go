@@ -69,7 +69,7 @@ func (e *Env) NewPipeline(cfg pipeline.Config) *pipeline.Pipeline {
 	if cfg.Workers == 0 {
 		cfg.Workers = e.Workers
 	}
-	return pipeline.New(e.Sim, cfg)
+	return pipeline.NewSim(e.Sim, cfg)
 }
 
 // IssueRecord grades one active-phase verdict against the simulator's

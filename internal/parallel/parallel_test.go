@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -77,5 +78,59 @@ func TestShardsDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("shard %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestForEachCtxRunsAllUnits(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var hits [100]atomic.Int64
+		err := ForEachCtx(context.Background(), len(hits), workers, func(i int) {
+			hits[i].Add(1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: unit %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachCtxStopsOnCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10000
+		err := ForEachCtx(ctx, n, workers, func(i int) {
+			// Cancel from inside an early unit: later units must not start.
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d units ran despite cancellation", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	if err := ForEachCtx(ctx, 10, 1, func(i int) { ran++ }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d units ran under a pre-cancelled context", ran)
+	}
+	// Degenerate n with a live context is a no-op without error.
+	if err := ForEachCtx(context.Background(), 0, 4, func(i int) {}); err != nil {
+		t.Fatalf("n=0: %v", err)
 	}
 }

@@ -62,7 +62,7 @@ func TestGoldenMediumReport(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Metrics = reg
 	cfg.Workers = 1
-	p := New(s, cfg)
+	p := NewSim(s, cfg)
 	p.Warmup(0, netmodel.BucketsPerDay)
 
 	totals := make(map[core.Blame]int)

@@ -31,7 +31,7 @@ func TestMediumScaleIntegration(t *testing.T) {
 	fs = append(fs, marker)
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 9)
 	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(10))
-	p := New(s, DefaultConfig())
+	p := NewSim(s, DefaultConfig())
 	p.Warmup(0, netmodel.BucketsPerDay)
 
 	totals := make(map[core.Blame]int)

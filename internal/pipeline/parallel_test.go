@@ -49,7 +49,7 @@ func runWithWorkers(workers int) []*Report {
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 	cfg := DefaultConfig()
 	cfg.Workers = workers
-	p := New(s, cfg)
+	p := NewSim(s, cfg)
 	p.Warmup(0, dayStart)
 	var reps []*Report
 	p.Run(dayStart, dayStart+8*netmodel.BucketsPerHour, func(rep *Report) { reps = append(reps, rep) })
@@ -112,7 +112,7 @@ func TestUnalignedRunStartClampsWindow(t *testing.T) {
 func TestSingleBucketWindowOnJobBoundary(t *testing.T) {
 	p := buildPipeline(t, nil, 1, DefaultConfig())
 	start := dayStart + 2 // (dayStart+2+1) % 3 == 0: job fires immediately
-	rep := p.Step(start)
+	rep, _ := p.Step(start)
 	if rep == nil {
 		t.Fatal("no report on the job boundary")
 	}

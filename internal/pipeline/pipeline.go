@@ -3,9 +3,18 @@
 // periodic Algorithm 1 job at the analytics cluster, middle-issue
 // prioritization with budgeted on-demand traceroutes, background baseline
 // maintenance, and impact-ranked operator alerts.
+//
+// The pipeline is decoupled from where its telemetry comes from: passive
+// observations arrive through an ingest.ObservationSource (live simulator,
+// store-backed windowed reads, or a streaming trace replay) and active
+// measurements go through a probe.Prober (live traceroute engine or a
+// recorded-probe replay). The simulator is just one backend among several;
+// see NewSim for the conventional live wiring.
 package pipeline
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
 	"time"
 
@@ -14,6 +23,7 @@ import (
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/faults"
+	"blameit/internal/ingest"
 	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/parallel"
@@ -22,6 +32,7 @@ import (
 	"blameit/internal/quartet"
 	"blameit/internal/sim"
 	"blameit/internal/topology"
+	"blameit/internal/trace"
 )
 
 // Config assembles the tunables of every stage.
@@ -36,7 +47,9 @@ type Config struct {
 	RunEvery int
 	// TopNAlerts bounds the tickets emitted per job run (0 = unlimited).
 	TopNAlerts int
-	// ProbeNoiseMS is the traceroute engine's per-hop noise.
+	// ProbeNoiseMS is the traceroute engine's per-hop noise. It only
+	// applies to the sim-backed wiring (NewSim/SimDeps), which constructs
+	// the engine; a caller supplying its own Prober configures noise there.
 	ProbeNoiseMS float64
 	// WarmupSampleEvery subsamples warmup buckets when learning expected
 	// RTTs (1 = every bucket).
@@ -85,17 +98,83 @@ type Report struct {
 	Metrics metrics.Snapshot
 }
 
+// canonicalReport is the deterministic projection of a Report: everything
+// except Metrics, whose histograms record wall times and therefore differ
+// between runs.
+type canonicalReport struct {
+	From     netmodel.Bucket   `json:"from"`
+	To       netmodel.Bucket   `json:"to"`
+	Results  []core.Result     `json:"results"`
+	Verdicts []active.Verdict  `json:"verdicts"`
+	Tickets  []alerting.Ticket `json:"tickets"`
+}
+
+// CanonicalJSON serializes the report's deterministic content — window,
+// results, verdicts, and tickets, excluding the wall-time-bearing Metrics
+// snapshot. Two runs over the same telemetry are equivalent exactly when
+// their reports' CanonicalJSON streams are byte-identical; the replay
+// golden test holds blameit -replay to that standard.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(canonicalReport{
+		From: r.From, To: r.To, Results: r.Results, Verdicts: r.Verdicts, Tickets: r.Tickets,
+	})
+}
+
+// Deps are the pipeline's external dependencies: the topology and routing
+// views shared with the telemetry backends, the passive observation source,
+// the active-phase prober, and optionally the storage layer behind the
+// source (for §6.1 scan-cost accounting). World, Table, Source, and Prober
+// are required.
+type Deps struct {
+	World  *topology.World
+	Table  *bgp.Table
+	Source ingest.ObservationSource
+	Prober probe.Prober
+	// Store, when non-nil, is the ingestion store the Source reads through;
+	// the pipeline exposes it for scan-cost reporting but never bypasses
+	// the Source to reach it.
+	Store *trace.Store
+}
+
+// SimDepsRetention is the ingestion-store retention (in hour-long windows)
+// of the default sim-backed wiring: the job's 15-minute window never reads
+// more than one window behind the frontier, so two suffice for any run
+// length.
+const SimDepsRetention = 2
+
+// SimDeps is the conventional live wiring over a simulator: observations
+// are generated by the sim, scattered into an hourly-window ingestion store
+// and read back through the scan-everything window read (so scan-cost
+// accounting measures the real job), and probes are served by the live
+// traceroute engine. The store keeps SimDepsRetention windows.
+func SimDeps(s *sim.Simulator, probeNoiseMS float64) Deps {
+	st := trace.NewStore(8)
+	st.SetRetention(SimDepsRetention)
+	return Deps{
+		World:  s.World,
+		Table:  s.Routes,
+		Source: ingest.NewStoreIngest(ingest.NewSimSource(s), st),
+		Prober: probe.NewEngine(s, probeNoiseMS),
+		Store:  st,
+	}
+}
+
 // Pipeline is the assembled system.
 type Pipeline struct {
 	World *topology.World
 	Table *bgp.Table
-	Sim   *sim.Simulator
 	Cfg   Config
+
+	// Source feeds the passive phase; Prober serves the active phase.
+	Source ingest.ObservationSource
+	Prober probe.Prober
+	// Store is the ingestion store behind Source, when there is one (nil
+	// for direct live or streaming sources). Read-only accounting.
+	Store *trace.Store
 
 	// Metrics is the registry every stage of this pipeline reports into.
 	Metrics *metrics.Registry
 
-	Engine     *probe.Engine
 	Baseliner  *probe.Baseliner
 	Budget     *probe.Budget
 	Learner    *core.Learner
@@ -124,7 +203,7 @@ type Pipeline struct {
 	window       []quartet.Quartet
 	windowFrom   netmodel.Bucket
 	windowPrimed bool
-	obsBuf       []sim.Observation
+	obsBuf       []trace.Observation
 
 	// Metric handles (fetched once in New; nil-safe no-ops never occur
 	// here since the pipeline always has a registry).
@@ -147,8 +226,14 @@ type Pipeline struct {
 	lastSnapPrimed bool
 }
 
-// New assembles a pipeline over an existing simulator.
-func New(s *sim.Simulator, cfg Config) *Pipeline {
+// New assembles a pipeline over explicit dependencies. The simulator is
+// not among them: any ObservationSource / Prober pair over a consistent
+// topology works, which is what lets blameit -replay re-run a recorded
+// trace. Use NewSim for the conventional live wiring.
+func New(deps Deps, cfg Config) *Pipeline {
+	if deps.World == nil || deps.Table == nil || deps.Source == nil || deps.Prober == nil {
+		panic("pipeline: Deps.World, Table, Source, and Prober are all required")
+	}
 	if cfg.RunEvery < 1 {
 		cfg.RunEvery = 1
 	}
@@ -163,18 +248,21 @@ func New(s *sim.Simulator, cfg Config) *Pipeline {
 		reg = metrics.NewRegistry()
 	}
 	p := &Pipeline{
-		World:     s.World,
-		Table:     s.Routes,
-		Sim:       s,
+		World:     deps.World,
+		Table:     deps.Table,
 		Cfg:       cfg,
+		Source:    deps.Source,
+		Prober:    deps.Prober,
+		Store:     deps.Store,
 		Metrics:   reg,
-		Engine:    probe.NewEngine(s, cfg.ProbeNoiseMS),
 		Learner:   core.NewLearner(),
 		Durations: predict.NewDurationPredictor(3),
 		Clients:   predict.NewClientPredictor(),
 		Alerter:   alerting.NewAlerter(cfg.TopNAlerts),
 	}
-	p.Engine.SetMetrics(reg)
+	if m, ok := deps.Prober.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
 	p.Alerter.SetMetrics(reg)
 	p.mStageCollect = reg.Histogram("pipeline.stage.collect_ms", metrics.MSBuckets)
 	p.mStageClassify = reg.Histogram("pipeline.stage.classify_ms", metrics.MSBuckets)
@@ -195,14 +283,21 @@ func New(s *sim.Simulator, cfg Config) *Pipeline {
 	for i := 0; i < 400; i++ {
 		p.Durations.Record("", int(faults.SampleDuration(prior)))
 	}
-	p.Baseliner = probe.NewBaseliner(cfg.Background, p.Engine, p.Table)
+	p.Baseliner = probe.NewBaselinerWith(cfg.Background, p.Prober, p.World, p.Table)
 	p.Baseliner.SetMetrics(reg)
 	p.Budget = probe.NewBudget(cfg.BudgetPerCloudPerDay)
 	p.Budget.SetMetrics(reg)
-	p.Active = active.NewLocalizer(p.Engine, p.Baseliner, p.Budget, p.Durations, p.Clients)
+	p.Active = active.NewLocalizer(p.Prober, p.Baseliner, p.Budget, p.Durations, p.Clients)
 	p.QuartetTracker = quartet.NewTracker()
 	p.MiddleTracker = active.NewTrackerWithStep(p.Durations, cfg.RunEvery)
 	return p
+}
+
+// NewSim assembles a pipeline over a live simulator, reading observations
+// through an ingestion store (SimDeps) and probing through the simulated
+// traceroute engine.
+func NewSim(s *sim.Simulator, cfg Config) *Pipeline {
+	return New(SimDeps(s, cfg.ProbeNoiseMS), cfg)
 }
 
 // PathOf resolves a quartet's route from the BGP table.
@@ -213,9 +308,18 @@ func (p *Pipeline) PathOf(pid netmodel.PrefixID, c netmodel.CloudID, b netmodel.
 // Warmup learns expected RTTs (and primes the client predictor) from the
 // buckets in [from, to), sampling every WarmupSampleEvery'th bucket. Call
 // it before Run; production learns over a trailing 14-day window.
-func (p *Pipeline) Warmup(from, to netmodel.Bucket) {
+func (p *Pipeline) Warmup(from, to netmodel.Bucket) error {
+	return p.WarmupContext(context.Background(), from, to)
+}
+
+// WarmupContext is Warmup with cancellation.
+func (p *Pipeline) WarmupContext(ctx context.Context, from, to netmodel.Bucket) error {
 	for b := from; b < to; b += netmodel.Bucket(p.Cfg.WarmupSampleEvery) {
-		p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
+		var err error
+		p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
+		if err != nil {
+			return err
+		}
 		for _, o := range p.obsBuf {
 			if o.Samples < quartet.MinSamples {
 				continue
@@ -227,6 +331,7 @@ func (p *Pipeline) Warmup(from, to netmodel.Bucket) {
 	}
 	p.Thresholds = p.Learner.Snapshot()
 	p.rebuildPassive()
+	return nil
 }
 
 // SetThresholds installs externally learned thresholds (tests, ablations).
@@ -257,8 +362,14 @@ func (p *Pipeline) SetMiddleKeyFunc(f core.MiddleKeyFunc) {
 // observations, classifies quartets, advances the persistence trackers,
 // runs background probing, and — on job-cadence boundaries — runs
 // Algorithm 1 plus the active phase and returns a Report. Between job runs
-// it returns nil.
-func (p *Pipeline) Step(b netmodel.Bucket) *Report {
+// it returns (nil, nil).
+func (p *Pipeline) Step(b netmodel.Bucket) (*Report, error) {
+	return p.StepContext(context.Background(), b)
+}
+
+// StepContext is Step with cancellation: the observation read and the
+// job's parallel fan-out both observe ctx.
+func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report, error) {
 	if p.Passive == nil {
 		p.rebuildPassive()
 	}
@@ -272,7 +383,11 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 	}
 	// Passive collection and classification.
 	collectStart := time.Now()
-	p.obsBuf = p.Sim.ObservationsAt(b, p.obsBuf[:0])
+	var err error
+	p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
+	if err != nil {
+		return nil, err
+	}
 	classifyStart := time.Now()
 	p.mStageCollect.Observe(msSince(collectStart, classifyStart))
 	p.mObsCollected.Add(int64(len(p.obsBuf)))
@@ -309,9 +424,9 @@ func (p *Pipeline) Step(b netmodel.Bucket) *Report {
 	p.Baseliner.Advance(b)
 
 	if (int(b)+1)%p.Cfg.RunEvery != 0 {
-		return nil
+		return nil, nil
 	}
-	return p.runJob(b)
+	return p.runJob(ctx, b)
 }
 
 // msSince returns the wall time between two instants in milliseconds.
@@ -320,7 +435,7 @@ func msSince(from, to time.Time) float64 {
 }
 
 // runJob executes the Algorithm 1 job over the accumulated window.
-func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
+func (p *Pipeline) runJob(ctx context.Context, b netmodel.Bucket) (*Report, error) {
 	jobStart := time.Now()
 	from := b - netmodel.Bucket(p.Cfg.RunEvery) + 1
 	if p.windowPrimed && p.windowFrom > from {
@@ -344,13 +459,16 @@ func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
 	p.mWindowBuckets.Observe(float64(nb))
 	localizeStart := time.Now()
 	perBucket := make([][]core.Result, nb)
-	parallel.ForEach(nb, parallel.Resolve(p.Cfg.Workers), func(i int) {
+	err := parallel.ForEachCtx(ctx, nb, parallel.Resolve(p.Cfg.Workers), func(i int) {
 		qs := byBucket[rep.From+netmodel.Bucket(i)]
 		if len(qs) == 0 {
 			return
 		}
 		perBucket[i] = p.Passive.Localize(qs)
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, rs := range perBucket {
 		rep.Results = append(rep.Results, rs...)
 	}
@@ -382,17 +500,32 @@ func (p *Pipeline) runJob(b netmodel.Bucket) *Report {
 	cur := p.Metrics.Snapshot()
 	rep.Metrics = cur.Delta(p.lastSnap)
 	p.lastSnap = cur
-	return rep
+	return rep, nil
 }
 
 // Run drives the pipeline over [from, to), invoking cb for every completed
 // job run. cb may be nil.
-func (p *Pipeline) Run(from, to netmodel.Bucket, cb func(*Report)) {
+func (p *Pipeline) Run(from, to netmodel.Bucket, cb func(*Report)) error {
+	return p.RunContext(context.Background(), from, to, cb)
+}
+
+// RunContext is Run with cancellation: it stops between buckets as soon as
+// ctx is done and returns the context's error. A cancelled run leaves the
+// pipeline's learned state consistent up to the last completed bucket.
+func (p *Pipeline) RunContext(ctx context.Context, from, to netmodel.Bucket, cb func(*Report)) error {
 	for b := from; b < to; b++ {
-		if rep := p.Step(b); rep != nil && cb != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rep, err := p.StepContext(ctx, b)
+		if err != nil {
+			return err
+		}
+		if rep != nil && cb != nil {
 			cb(rep)
 		}
 	}
+	return nil
 }
 
 // Flush closes open incident runs at the end of a simulation.

@@ -20,7 +20,7 @@ func buildPipeline(t testing.TB, fs []faults.Fault, days int, cfg Config) *Pipel
 	horizon := netmodel.Bucket((days + 1) * netmodel.BucketsPerDay)
 	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 7)
 	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
-	p := New(s, cfg)
+	p := NewSim(s, cfg)
 	p.Warmup(0, netmodel.BucketsPerDay) // day 0 is the learning window
 	return p
 }
@@ -59,7 +59,7 @@ func TestStepCadence(t *testing.T) {
 	p := buildPipeline(t, nil, 1, DefaultConfig())
 	reports := 0
 	for b := dayStart; b < dayStart+12; b++ {
-		if rep := p.Step(b); rep != nil {
+		if rep, _ := p.Step(b); rep != nil {
 			reports++
 			if rep.To != b {
 				t.Errorf("report window end = %d, want %d", rep.To, b)
@@ -223,7 +223,7 @@ func TestBudgetLimitsOnDemandProbes(t *testing.T) {
 	p := buildPipeline(t, []faults.Fault{f}, 2, cfg)
 	p.Run(dayStart, dayStart+36, nil)
 	// With budget 1/cloud/day, on-demand probes cannot exceed cloud count.
-	if got := p.Engine.Counters().Count(probe.OnDemand); got > int64(len(p.World.Clouds)) {
+	if got := p.Prober.Counters().Count(probe.OnDemand); got > int64(len(p.World.Clouds)) {
 		t.Errorf("on-demand probes = %d exceed budget", got)
 	}
 }
@@ -246,7 +246,7 @@ func TestDeterministicReports(t *testing.T) {
 		f := faults.Fault{Kind: faults.CloudFault, Cloud: w.Clouds[0].ID, ScopeCloud: faults.NoCloud, Start: dayStart, Duration: 6, ExtraMS: 80}
 		tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), 3*netmodel.BucketsPerDay, 7)
 		s := sim.New(w, tbl, faults.NewSchedule([]faults.Fault{f}), sim.DefaultConfig(99))
-		p := New(s, DefaultConfig())
+		p := NewSim(s, DefaultConfig())
 		p.Warmup(0, netmodel.BucketsPerDay)
 		total := 0
 		p.Run(dayStart, dayStart+6, func(rep *Report) { total += len(rep.Results) })

@@ -4,6 +4,7 @@ import (
 	"blameit/internal/bgp"
 	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
+	"blameit/internal/topology"
 )
 
 // BackgroundConfig controls the baseline-maintenance strategy of §5.4.
@@ -41,7 +42,8 @@ const historyLen = 8
 // a time with Advance.
 type Baseliner struct {
 	cfg      BackgroundConfig
-	engine   *Engine
+	prober   Prober
+	world    *topology.World
 	table    *bgp.Table
 	listener *bgp.Listener
 
@@ -65,20 +67,29 @@ type repTarget struct {
 	prefix netmodel.PrefixID
 }
 
-// NewBaseliner builds the manager and registers every (cloud, BGP path)
-// pair present in the routing table at bucket 0. No probes are issued yet;
-// the first Advance cycle establishes baselines.
+// NewBaseliner builds the manager around a live traceroute engine. It is a
+// convenience for NewBaselinerWith that borrows the engine's simulator
+// topology.
 func NewBaseliner(cfg BackgroundConfig, engine *Engine, table *bgp.Table) *Baseliner {
+	return NewBaselinerWith(cfg, engine, engine.Sim.World, table)
+}
+
+// NewBaselinerWith builds the manager over any Prober and registers every
+// (cloud, BGP path) pair present in the routing table at bucket 0. No
+// probes are issued yet; the first Advance cycle establishes baselines.
+// The world supplies the BGP-prefix → representative-/24 mapping; it must
+// describe the same topology the prober measures.
+func NewBaselinerWith(cfg BackgroundConfig, prober Prober, w *topology.World, table *bgp.Table) *Baseliner {
 	bg := &Baseliner{
 		cfg:        cfg,
-		engine:     engine,
+		prober:     prober,
+		world:      w,
 		table:      table,
 		listener:   bgp.NewListener(table),
 		reps:       make(map[netmodel.MiddleKey]repTarget),
 		baselines:  make(map[netmodel.MiddleKey][]Traceroute),
 		suppressed: make(map[netmodel.MiddleKey]netmodel.Bucket),
 	}
-	w := engine.Sim.World
 	for _, c := range w.Clouds {
 		for _, bp := range w.BGPPrefixes {
 			path := table.PathAt(c.ID, bp.ID, 0)
@@ -152,7 +163,7 @@ func (bg *Baseliner) Advance(b netmodel.Bucket) {
 				bg.mSkipped.Inc()
 				continue
 			}
-			tr := bg.engine.Traceroute(rep.cloud, rep.prefix, b, Background)
+			tr := bg.prober.Traceroute(rep.cloud, rep.prefix, b, Background)
 			bg.store(tr)
 		}
 	}
@@ -169,9 +180,8 @@ func (bg *Baseliner) Advance(b netmodel.Bucket) {
 					continue
 				}
 			}
-			w := bg.engine.Sim.World
-			kids := w.PrefixesOfBGP(ev.BGPPrefix)
-			tr := bg.engine.Traceroute(ev.Cloud, kids[0], b, ChurnTriggered)
+			kids := bg.world.PrefixesOfBGP(ev.BGPPrefix)
+			tr := bg.prober.Traceroute(ev.Cloud, kids[0], b, ChurnTriggered)
 			bg.store(tr)
 			// Churn-discovered paths are NOT added to the periodic set:
 			// periodic traceroutes to the registered representatives follow

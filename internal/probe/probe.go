@@ -89,6 +89,19 @@ func (c *Counters) Total() int64 {
 	return t
 }
 
+// Prober is the traceroute capability the active phase and the baseliner
+// consume: issue one forward traceroute and account for it by purpose. The
+// live implementation is *Engine (simulated tracert against the latency
+// ground truth); *Replayer serves previously recorded probes instead, so a
+// whole run can be reproduced without any simulator. Implementations must
+// be deterministic in (cloud, prefix, bucket): replay equivalence depends
+// on the same request yielding the same Traceroute regardless of when —
+// or how many times — it is issued.
+type Prober interface {
+	Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute
+	Counters() *Counters
+}
+
 // Engine issues simulated traceroutes against the latency ground truth of
 // the simulator, so active and passive views are mutually consistent.
 type Engine struct {
@@ -98,6 +111,8 @@ type Engine struct {
 	counters Counters
 	mCounts  [numPurposes]*metrics.Counter
 }
+
+var _ Prober = (*Engine)(nil)
 
 // NewEngine creates a traceroute engine with the given per-hop noise.
 func NewEngine(s *sim.Simulator, noiseMS float64) *Engine {

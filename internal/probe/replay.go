@@ -1,0 +1,144 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+)
+
+// Record is one recorded traceroute: the request that triggered it and the
+// result it produced. A log of Records captures everything the active phase
+// learned from the network, which is what lets a Replayer stand in for the
+// live engine.
+type Record struct {
+	Cloud   netmodel.CloudID  `json:"cloud"`
+	Prefix  netmodel.PrefixID `json:"prefix"`
+	Bucket  netmodel.Bucket   `json:"bucket"`
+	Purpose Purpose           `json:"purpose"`
+	Result  Traceroute        `json:"result"`
+}
+
+// Recorder wraps a Prober and logs every traceroute issued through it, for
+// later replay. Counters delegate to the wrapped prober.
+type Recorder struct {
+	base Prober
+	log  []Record
+}
+
+var _ Prober = (*Recorder)(nil)
+
+// NewRecorder wraps a prober with probe logging.
+func NewRecorder(base Prober) *Recorder { return &Recorder{base: base} }
+
+// Traceroute issues the probe through the wrapped prober and logs it.
+func (r *Recorder) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute {
+	tr := r.base.Traceroute(c, p, b, purpose)
+	r.log = append(r.log, Record{Cloud: c, Prefix: p, Bucket: b, Purpose: purpose, Result: tr})
+	return tr
+}
+
+// Counters returns the wrapped prober's accounting.
+func (r *Recorder) Counters() *Counters { return r.base.Counters() }
+
+// Log returns the recorded probes in issue order.
+func (r *Recorder) Log() []Record { return r.log }
+
+// WriteJSONL writes the recorded probes as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.log {
+		if err := enc.Encode(&r.log[i]); err != nil {
+			return fmt.Errorf("probe: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecordsJSONL reads a probe log written by Recorder.WriteJSONL.
+func ReadRecordsJSONL(rd io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(bufio.NewReader(rd))
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("probe: decoding record %d (byte offset %d): %w", len(out), dec.InputOffset(), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// replayKey identifies a recorded probe by request, ignoring purpose: the
+// network's answer to a traceroute does not depend on why it was issued,
+// and the replayed run may legitimately issue the same request for a
+// different purpose (e.g. a churn-triggered probe where the recording had
+// a periodic one land on the same bucket).
+type replayKey struct {
+	cloud  netmodel.CloudID
+	prefix netmodel.PrefixID
+	bucket netmodel.Bucket
+}
+
+// Replayer serves traceroutes from a recorded probe log instead of a live
+// engine, completing the pipeline's decoupling from the simulator: with a
+// Replayer and a recorded observation trace, a run needs no network (or
+// simulator) at all. Requests not present in the recording return a zero
+// Traceroute — Compare rejects it (hop-count mismatch), so the active
+// phase degrades to "probed but not comparable" rather than fabricating a
+// measurement — and are counted in Misses.
+type Replayer struct {
+	probes   map[replayKey]Traceroute
+	counters Counters
+	misses   int64
+	mCounts  [numPurposes]*metrics.Counter
+}
+
+var _ Prober = (*Replayer)(nil)
+
+// NewReplayer indexes a probe log for replay. Duplicate requests keep the
+// first recorded result (probers are deterministic per request, so
+// duplicates only arise from re-recorded logs).
+func NewReplayer(recs []Record) *Replayer {
+	rp := &Replayer{probes: make(map[replayKey]Traceroute, len(recs))}
+	for _, rec := range recs {
+		k := replayKey{cloud: rec.Cloud, prefix: rec.Prefix, bucket: rec.Bucket}
+		if _, ok := rp.probes[k]; !ok {
+			rp.probes[k] = rec.Result
+		}
+	}
+	return rp
+}
+
+// SetMetrics mirrors the replayer's per-purpose probe accounting into a
+// metrics registry, matching the live engine's probe.traceroutes.*
+// counters.
+func (rp *Replayer) SetMetrics(reg *metrics.Registry) {
+	for p := Purpose(0); p < numPurposes; p++ {
+		rp.mCounts[p] = reg.Counter("probe.traceroutes." + p.String())
+	}
+}
+
+// Traceroute serves the recorded result for the request, or a zero
+// Traceroute on a miss.
+func (rp *Replayer) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute {
+	rp.counters.counts[purpose]++
+	rp.mCounts[purpose].Inc()
+	tr, ok := rp.probes[replayKey{cloud: c, prefix: p, bucket: b}]
+	if !ok {
+		rp.misses++
+		return Traceroute{Cloud: c, Prefix: p, Bucket: b}
+	}
+	return tr
+}
+
+// Counters returns the replayer's probe accounting.
+func (rp *Replayer) Counters() *Counters { return &rp.counters }
+
+// Misses reports how many requests had no recorded probe.
+func (rp *Replayer) Misses() int64 { return rp.misses }

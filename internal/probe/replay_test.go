@@ -1,0 +1,115 @@
+package probe
+
+import (
+	"bytes"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// replayRig builds a small live engine for recorder/replayer tests.
+func replayRig(t *testing.T) *Engine {
+	t.Helper()
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), netmodel.BucketsPerDay, 7)
+	s := sim.New(w, tbl, faults.NewSchedule(nil), sim.DefaultConfig(99))
+	return NewEngine(s, 0.5)
+}
+
+func equalTraceroutes(a, b Traceroute) bool {
+	if a.Cloud != b.Cloud || a.Prefix != b.Prefix || a.Bucket != b.Bucket || len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRecorderReplayRoundTrip records a set of live probes through the
+// JSONL log and replays them: the replayer must return the recorded
+// results exactly, including across the serialization boundary.
+func TestRecorderReplayRoundTrip(t *testing.T) {
+	e := replayRig(t)
+	rec := NewRecorder(e)
+	var issued []Traceroute
+	for b := netmodel.Bucket(0); b < 6; b++ {
+		issued = append(issued, rec.Traceroute(0, netmodel.PrefixID(b), b, Background))
+		issued = append(issued, rec.Traceroute(1, netmodel.PrefixID(b+1), b, OnDemand))
+	}
+	if len(rec.Log()) != len(issued) {
+		t.Fatalf("recorder logged %d probes, issued %d", len(rec.Log()), len(issued))
+	}
+	// Recorder is transparent: counters are the wrapped engine's.
+	if rec.Counters() != e.Counters() {
+		t.Error("recorder counters are not the engine's")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecordsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(issued) {
+		t.Fatalf("log round trip returned %d records, want %d", len(recs), len(issued))
+	}
+
+	rp := NewReplayer(recs)
+	for i, rec := range recs {
+		got := rp.Traceroute(rec.Cloud, rec.Prefix, rec.Bucket, rec.Purpose)
+		if !equalTraceroutes(got, issued[i]) {
+			t.Fatalf("replayed probe %d differs from the live one", i)
+		}
+	}
+	if rp.Misses() != 0 {
+		t.Errorf("replay of recorded requests missed %d times", rp.Misses())
+	}
+	if rp.Counters().Total() != int64(len(recs)) {
+		t.Errorf("replayer counted %d probes, want %d", rp.Counters().Total(), len(recs))
+	}
+}
+
+// TestReplayerIgnoresPurpose: the same request under a different purpose
+// serves the same recorded result (the network's answer does not depend on
+// why the probe was sent), while still accounting the new purpose.
+func TestReplayerIgnoresPurpose(t *testing.T) {
+	e := replayRig(t)
+	rec := NewRecorder(e)
+	want := rec.Traceroute(0, 3, 7, Background)
+	rp := NewReplayer(rec.Log())
+	got := rp.Traceroute(0, 3, 7, OnDemand)
+	if !equalTraceroutes(got, want) {
+		t.Fatal("purpose change broke replay lookup")
+	}
+	if rp.Counters().Count(OnDemand) != 1 || rp.Counters().Count(Background) != 0 {
+		t.Error("replayer accounted the recorded purpose, not the requested one")
+	}
+}
+
+// TestReplayerMissDegradesSafely: a request absent from the recording
+// yields a zero traceroute that Compare rejects, and is counted.
+func TestReplayerMissDegradesSafely(t *testing.T) {
+	e := replayRig(t)
+	rec := NewRecorder(e)
+	baseline := rec.Traceroute(0, 3, 0, Background)
+	rp := NewReplayer(rec.Log())
+	miss := rp.Traceroute(0, 99, 5, OnDemand)
+	if len(miss.Hops) != 0 {
+		t.Fatal("miss fabricated hops")
+	}
+	if rp.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", rp.Misses())
+	}
+	if res := Compare(miss, baseline); res.OK {
+		t.Error("Compare accepted a missed (zero) traceroute")
+	}
+}

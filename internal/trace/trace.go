@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"blameit/internal/netmodel"
 )
@@ -40,7 +41,8 @@ func WriteJSONL(w io.Writer, obs []Observation) error {
 	return bw.Flush()
 }
 
-// ReadJSONL reads observations from JSON Lines until EOF.
+// ReadJSONL reads observations from JSON Lines until EOF. Decode errors
+// identify the failing record by index and byte offset.
 func ReadJSONL(r io.Reader) ([]Observation, error) {
 	dec := json.NewDecoder(bufio.NewReader(r))
 	var out []Observation
@@ -49,7 +51,7 @@ func ReadJSONL(r io.Reader) ([]Observation, error) {
 		if err := dec.Decode(&o); err == io.EOF {
 			return out, nil
 		} else if err != nil {
-			return nil, fmt.Errorf("trace: decoding observation %d: %w", len(out), err)
+			return nil, fmt.Errorf("trace: decoding observation %d (byte offset %d): %w", len(out), dec.InputOffset(), err)
 		}
 		out = append(out, o)
 	}
@@ -58,12 +60,12 @@ func ReadJSONL(r io.Reader) ([]Observation, error) {
 // RTTRecord is the latency half of the raw telemetry: cloud servers log the
 // handshake RTT keyed by a request id.
 type RTTRecord struct {
-	RequestID uint64
-	Cloud     netmodel.CloudID
-	Bucket    netmodel.Bucket
-	Device    netmodel.DeviceClass
-	Samples   int
-	MeanRTT   float64
+	RequestID uint64               `json:"request_id"`
+	Cloud     netmodel.CloudID     `json:"cloud"`
+	Bucket    netmodel.Bucket      `json:"bucket"`
+	Device    netmodel.DeviceClass `json:"device"`
+	Samples   int                  `json:"samples"`
+	MeanRTT   float64              `json:"mean_rtt_ms"`
 }
 
 // ClientRecord is the identity half: the client IP (here its /24 and client
@@ -71,9 +73,81 @@ type RTTRecord struct {
 // the two streams daily until the RTT stream was extended to carry the
 // client IP (§6.1).
 type ClientRecord struct {
-	RequestID uint64
-	Prefix    netmodel.PrefixID
-	Clients   int
+	RequestID uint64            `json:"request_id"`
+	Prefix    netmodel.PrefixID `json:"prefix"`
+	Clients   int               `json:"clients"`
+}
+
+// WriteRTTJSONL writes the RTT telemetry stream as JSON Lines.
+func WriteRTTJSONL(w io.Writer, recs []RTTRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("trace: encoding rtt record %d (request id %d): %w", i, recs[i].RequestID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRTTJSONL reads the RTT telemetry stream until EOF. Decode errors name
+// the last successfully read request id to anchor the failure in the stream.
+func ReadRTTJSONL(r io.Reader) ([]RTTRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []RTTRecord
+	for {
+		var rec RTTRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding rtt record %d (after request id %d, byte offset %d): %w",
+				len(out), lastRequestID(out), dec.InputOffset(), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteClientJSONL writes the client-identity telemetry stream as JSON Lines.
+func WriteClientJSONL(w io.Writer, recs []ClientRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("trace: encoding client record %d (request id %d): %w", i, recs[i].RequestID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadClientJSONL reads the client-identity stream until EOF. Decode errors
+// name the last successfully read request id to anchor the failure.
+func ReadClientJSONL(r io.Reader) ([]ClientRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []ClientRecord
+	for {
+		var rec ClientRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding client record %d (after request id %d, byte offset %d): %w",
+				len(out), lastClientRequestID(out), dec.InputOffset(), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func lastRequestID(recs []RTTRecord) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	return recs[len(recs)-1].RequestID
+}
+
+func lastClientRequestID(recs []ClientRecord) uint64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	return recs[len(recs)-1].RequestID
 }
 
 // Split separates observations into the two raw telemetry streams,
@@ -91,24 +165,41 @@ func Split(obs []Observation) ([]RTTRecord, []ClientRecord) {
 
 // Join reassembles observations from the two streams by request id,
 // dropping records without a counterpart (as the daily production join
-// does).
+// does). Under duplicate request ids the FIRST record wins on both sides:
+// collectors retransmit on flaky links, and first-wins keeps the join
+// deterministic regardless of how retransmissions interleave in either
+// stream — later duplicates are dropped, never merged.
 func Join(rtts []RTTRecord, clients []ClientRecord) []Observation {
 	byID := make(map[uint64]ClientRecord, len(clients))
 	for _, c := range clients {
+		if _, dup := byID[c.RequestID]; dup {
+			continue
+		}
 		byID[c.RequestID] = c
 	}
 	out := make([]Observation, 0, len(rtts))
+	seen := make(map[uint64]bool, len(rtts))
 	for _, r := range rtts {
 		c, ok := byID[r.RequestID]
-		if !ok {
+		if !ok || seen[r.RequestID] {
 			continue
 		}
+		seen[r.RequestID] = true
 		out = append(out, Observation{
 			Prefix: c.Prefix, Cloud: r.Cloud, Device: r.Device, Bucket: r.Bucket,
 			Samples: r.Samples, MeanRTT: r.MeanRTT, Clients: c.Clients,
 		})
 	}
 	return out
+}
+
+// seqObs tags a stored observation with its arrival sequence number so
+// windowed reads can restore collector arrival order after the pseudo-random
+// scatter across storage buckets. Arrival order is what downstream
+// consumers (and trace replay) depend on for determinism.
+type seqObs struct {
+	seq uint64
+	obs Observation
 }
 
 // Store models the analytics cluster's ingestion quirk from §6.1: every
@@ -120,6 +211,10 @@ func Join(rtts []RTTRecord, clients []ClientRecord) []Observation {
 // implements that follow-up — shrinking the window cuts the scan cost of
 // the 15-minute job proportionally (see TestFinerWindowsCutScanCost).
 //
+// Reads return records in arrival order (each record carries an ingestion
+// sequence number that survives the scatter), so a store-backed pipeline
+// sees exactly the stream the collector wrote.
+//
 // A Store is NOT safe for concurrent use: Write mutates the window maps
 // and ReadWindow updates the scan counters. The simulator's parallel
 // generation paths merge their per-shard buffers into one ordered slice
@@ -128,9 +223,13 @@ func Join(rtts []RTTRecord, clients []ClientRecord) []Observation {
 type Store struct {
 	bucketsPerWindow int
 	windowLen        netmodel.Bucket // ingestion window length in 5-min buckets
-	windows          map[int][][]Observation
+	windows          map[int][][]seqObs
+	nextSeq          uint64
 	reads            int // storage buckets scanned (for the inefficiency metric)
 	recordsScanned   int // records examined, including filtered-out ones
+	retention        int // windows kept behind the read frontier; 0 = unbounded
+	evictBelow       int // all windows < evictBelow have been dropped
+	evicted          int // total windows evicted so far
 }
 
 // NewStore creates a store with the given number of storage buckets per
@@ -151,35 +250,79 @@ func NewStoreWindow(bucketsPerWindow int, windowLen netmodel.Bucket) *Store {
 	return &Store{
 		bucketsPerWindow: bucketsPerWindow,
 		windowLen:        windowLen,
-		windows:          make(map[int][][]Observation),
+		windows:          make(map[int][][]seqObs),
 	}
 }
+
+// SetRetention bounds the store's memory for long runs: after each read,
+// ingestion windows more than n windows behind the read frontier are
+// evicted. The periodic job reads forward through time, so anything that
+// far behind has already been consumed. n <= 0 disables eviction (the
+// default — a store used for ad-hoc historical queries must keep
+// everything).
+func (s *Store) SetRetention(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.retention = n
+}
+
+// NumWindows reports how many ingestion windows are currently resident.
+func (s *Store) NumWindows() int { return len(s.windows) }
+
+// EvictedWindows reports how many ingestion windows retention has dropped.
+func (s *Store) EvictedWindows() int { return s.evicted }
 
 // windowOf maps a 5-minute bucket to its ingestion-window index.
 func (s *Store) windowOf(b netmodel.Bucket) int { return int(b / s.windowLen) }
 
 // Write ingests observations, scattering them across the window's storage
-// buckets.
+// buckets. Writes into windows already evicted by retention are dropped —
+// the production cluster, too, rejects stragglers for closed windows.
 func (s *Store) Write(obs []Observation) {
 	for _, o := range obs {
 		h := s.windowOf(o.Bucket)
+		if h < s.evictBelow {
+			continue
+		}
 		hb, ok := s.windows[h]
 		if !ok {
-			hb = make([][]Observation, s.bucketsPerWindow)
+			hb = make([][]seqObs, s.bucketsPerWindow)
 			s.windows[h] = hb
 		}
 		// Pseudo-random but deterministic scatter.
 		i := int(uint64(o.Prefix)*2654435761+uint64(o.Cloud)*40503+uint64(o.Bucket)) % s.bucketsPerWindow
-		hb[i] = append(hb[i], o)
+		hb[i] = append(hb[i], seqObs{seq: s.nextSeq, obs: o})
+		s.nextSeq++
 	}
 }
 
-// ReadWindow returns all observations with from <= bucket < to. It scans
-// every storage bucket of each overlapped ingestion window (counted in
-// ScannedBuckets) and filters, exactly as BlameIt's 15-minute job must.
+// ReadWindow returns all observations with from <= bucket < to, in arrival
+// order. See ReadWindowAppend.
 func (s *Store) ReadWindow(from, to netmodel.Bucket) []Observation {
-	var out []Observation
-	for h := s.windowOf(from); h <= s.windowOf(to-1); h++ {
+	return s.ReadWindowAppend(from, to, nil)
+}
+
+// ReadWindowAppend appends all observations with from <= bucket < to onto
+// buf, in arrival order, and returns the extended slice. It scans every
+// storage bucket of each overlapped ingestion window (counted in
+// ScannedBuckets) and filters, exactly as BlameIt's 15-minute job must.
+// An empty or inverted range (to <= from) reads nothing and scans nothing.
+// If a retention horizon is set, windows that fall behind it afterwards
+// are evicted.
+func (s *Store) ReadWindowAppend(from, to netmodel.Bucket, buf []Observation) []Observation {
+	if to <= from {
+		return buf
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to <= from {
+		return buf
+	}
+	var matches []seqObs
+	hi := s.windowOf(to - 1)
+	for h := s.windowOf(from); h <= hi; h++ {
 		hb, ok := s.windows[h]
 		if !ok {
 			continue
@@ -187,14 +330,37 @@ func (s *Store) ReadWindow(from, to netmodel.Bucket) []Observation {
 		for _, bucket := range hb {
 			s.reads++
 			s.recordsScanned += len(bucket)
-			for _, o := range bucket {
-				if o.Bucket >= from && o.Bucket < to {
-					out = append(out, o)
+			for _, so := range bucket {
+				if so.obs.Bucket >= from && so.obs.Bucket < to {
+					matches = append(matches, so)
 				}
 			}
 		}
 	}
-	return out
+	// The scatter destroyed arrival order; the sequence numbers restore it.
+	sort.Slice(matches, func(i, j int) bool { return matches[i].seq < matches[j].seq })
+	for _, so := range matches {
+		buf = append(buf, so.obs)
+	}
+	if s.retention > 0 {
+		s.evictBehind(hi)
+	}
+	return buf
+}
+
+// evictBehind drops every resident window at or below frontier-retention.
+func (s *Store) evictBehind(frontier int) {
+	low := frontier - s.retention + 1
+	if low <= s.evictBelow {
+		return
+	}
+	for h := range s.windows {
+		if h < low {
+			delete(s.windows, h)
+			s.evicted++
+		}
+	}
+	s.evictBelow = low
 }
 
 // ScannedBuckets reports how many storage buckets all reads so far have
