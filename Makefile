@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-parallel bench-replay cover verify
+.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay cover verify
 
 all: verify
 
@@ -18,7 +18,26 @@ test:
 # concurrently and the ingestion layer the pipeline reads through, under
 # the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/...
+
+# The headline robustness gate: a 7-day A/B run under the heavy chaos
+# profile (20% probe failures, 5% corrupt records, bursty late delivery)
+# with the race detector on. Must finish with every injected fault
+# accounted for and no wrong localizations.
+chaos:
+	$(GO) test -race -run TestChaosEndToEnd -count=1 -timeout 10m ./internal/chaos/
+
+# Short fuzzing sweeps over every decoder and invariant-bearing routine
+# with a registered fuzz target (the corpora in testdata/fuzz grow as CI
+# finds new inputs).
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzStreamSource -fuzztime 20s ./internal/ingest/
+	$(GO) test -run NONE -fuzz FuzzParseAddr -fuzztime 10s ./internal/ipaddr/
+	$(GO) test -run NONE -fuzz FuzzParsePrefix -fuzztime 10s ./internal/ipaddr/
+	$(GO) test -run NONE -fuzz FuzzContainment -fuzztime 10s ./internal/ipaddr/
+	$(GO) test -run NONE -fuzz FuzzQuantileMonotonicity -fuzztime 10s ./internal/stats/
+	$(GO) test -run NONE -fuzz FuzzSummarizeOrdering -fuzztime 10s ./internal/stats/
+	$(GO) test -run NONE -fuzz FuzzCDFQuantileAgreement -fuzztime 10s ./internal/stats/
 
 # Sequential-vs-parallel full-day pipeline pair; on an N-core machine the
 # parallel variant should approach N x (output is identical either way).

@@ -89,6 +89,10 @@ func main() {
 	scfg := sim.DefaultConfig(*seed + 3)
 	scfg.Workers = *workers
 	scfg.Metrics = reg
+	if err := scfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 
 	var written int64

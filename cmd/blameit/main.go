@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"blameit/internal/bgp"
+	"blameit/internal/chaos"
 	"blameit/internal/core"
 	"blameit/internal/faults"
 	"blameit/internal/ingest"
@@ -63,6 +64,7 @@ type options struct {
 	topN        int
 	workers     int
 	replayPath  string
+	chaosName   string
 	dumpMetrics bool
 	verbose     bool
 }
@@ -78,6 +80,7 @@ func main() {
 	flag.IntVar(&o.topN, "top", 5, "tickets to print per job run")
 	flag.IntVar(&o.workers, "workers", 0, "goroutines for observation generation and the Algorithm 1 job (0 = all cores, 1 = sequential; output is identical either way)")
 	flag.StringVar(&o.replayPath, "replay", "", "replay passive observations from a recorded JSONL trace instead of generating them (\"-\" = stdin)")
+	flag.StringVar(&o.chaosName, "chaos", "off", "inject data-plane faults: off, light or heavy (deterministic per seed)")
 	flag.BoolVar(&o.dumpMetrics, "metrics", false, "dump the pipeline metrics snapshot as JSON on exit")
 	flag.BoolVar(&o.verbose, "v", false, "print every job run, not only runs with tickets")
 	flag.Parse()
@@ -125,12 +128,20 @@ func run(ctx context.Context, o options) error {
 		return fmt.Errorf("unknown workload %q (random|cases|battery|none)", o.workload)
 	}
 
+	ccfg, err := chaos.Profile(o.chaosName, o.seed+4)
+	if err != nil {
+		return err
+	}
+
 	st := w.Stats()
 	fmt.Printf("world: %d clouds, %d metros, %d ASes, %d BGP prefixes, %d /24s, %d active clients\n",
 		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
 	mode := "live"
 	if o.replayPath != "" {
 		mode = "replay of " + o.replayPath
+	}
+	if ccfg.Enabled() {
+		mode += ", chaos " + o.chaosName
 	}
 	fmt.Printf("workload: %s (%d faults), horizon %d days + %d warmup, ingestion: %s\n\n",
 		o.workload, len(fs), o.days, o.warmup, mode)
@@ -140,12 +151,18 @@ func run(ctx context.Context, o options) error {
 	scfg := sim.DefaultConfig(o.seed + 3)
 	scfg.Workers = o.workers
 	scfg.Metrics = reg
+	if err := scfg.Validate(); err != nil {
+		return err
+	}
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 	cfg := pipeline.DefaultConfig()
 	cfg.BudgetPerCloudPerDay = o.budget
 	cfg.TopNAlerts = o.topN
 	cfg.Workers = o.workers
 	cfg.Metrics = reg
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 
 	// The observation source is the only thing replay changes: probes still
 	// come from the deterministic engine over the same world, which is why
@@ -166,7 +183,24 @@ func run(ctx context.Context, o options) error {
 		deps.Source = stream
 		deps.Store = nil
 	}
+	// Chaos wraps whatever source/prober the run ended up with — live or
+	// replay — so the hardened consuming side (quarantine, retrying
+	// prober, degraded verdicts) is exercised identically in both modes.
+	var csrc *chaos.Source
+	var cprb *chaos.Prober
+	if ccfg.Enabled() {
+		csrc = chaos.NewSource(deps.Source, ccfg, netmodel.PrefixID(len(w.Prefixes)))
+		cprb = chaos.NewProber(deps.Prober, ccfg)
+		deps.Source = csrc
+		deps.Prober = cprb
+	}
 	p := pipeline.New(deps, cfg)
+	if stream != nil {
+		// Replay salvage mode: malformed or out-of-order records land in
+		// the quarantine (reported, and fatal at exit) instead of aborting
+		// the run mid-bucket.
+		stream.SetQuarantine(p.Quarantine())
+	}
 
 	fmt.Printf("learning expected RTTs over %d warmup day(s)...\n", o.warmup)
 	if err := p.WarmupContext(ctx, 0, warmupEnd); err != nil {
@@ -228,10 +262,44 @@ func run(ctx context.Context, o options) error {
 	if stream != nil {
 		fmt.Printf("trace replay: consumed %d records\n", stream.Records())
 	}
+	// Data-plane health, printed only when something actually went wrong so
+	// fault-free output is unchanged.
+	quar := p.Quarantine()
+	retries, dark := p.SourceFaults()
+	if quar.Total() > 0 || retries > 0 || dark > 0 {
+		fmt.Printf("quarantine: %s; source retries: %d, dark buckets: %d\n", quar, retries, dark)
+	}
+	if rp, ok := p.Prober.(*probe.RetryingProber); ok {
+		if st := rp.Stats(); st.Failures > 0 {
+			fmt.Printf("probe retries: %d failures, %d retried, %d exhausted; breaker: %d opens, %d short-circuits\n",
+				st.Failures, st.Retries, st.Exhausted, st.BreakerOpens, st.BreakerShortCircuits)
+		}
+	}
+	if csrc != nil {
+		cs, ps := csrc.Stats(), cprb.Stats()
+		fmt.Printf("chaos injected: %d corrupt, %d late (%d pending), %d duplicates, %d dropped batches, %d transient read errors, %d probe failures, %d truncated probes\n",
+			cs.Corrupted, cs.LateDelivered, csrc.PendingLate(), cs.Duplicated, cs.DroppedBatches, cs.TransientErrs, ps.FailuresInjected, ps.Truncated)
+	}
 	if o.dumpMetrics {
 		fmt.Println()
 		if err := p.Metrics.Snapshot().WriteJSON(os.Stdout); err != nil {
 			return err
+		}
+	}
+	// A completed replay vouches for its input: a trace that ran out early
+	// or shed records into the quarantine is a defective recording, and the
+	// run must not exit zero as if the reports were trustworthy.
+	if stream != nil && runErr == nil {
+		qt := quar.Total()
+		truncated := stream.Exhausted() && stream.LastBucket() < horizon-1
+		switch {
+		case truncated && qt > 0:
+			return fmt.Errorf("replay: trace truncated (last record at bucket %d, run needed %d) and %d records quarantined (%s)",
+				stream.LastBucket(), horizon-1, qt, quar)
+		case truncated:
+			return fmt.Errorf("replay: trace truncated — last record at bucket %d, run needed %d", stream.LastBucket(), horizon-1)
+		case qt > 0:
+			return fmt.Errorf("replay: %d records quarantined (%s)", qt, quar)
 		}
 	}
 	return nil

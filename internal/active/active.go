@@ -7,6 +7,7 @@
 package active
 
 import (
+	"context"
 	"sort"
 
 	"blameit/internal/core"
@@ -142,8 +143,15 @@ type Verdict struct {
 	// Probed is false when the budget was exhausted before this issue.
 	Probed bool
 	// OK is false when the probe could not be compared (missing or stale
-	// baseline with a different AS path).
-	OK         bool
+	// baseline with a different AS path, or a failed/truncated probe).
+	OK bool
+	// Degraded is true when the probe infrastructure itself failed — every
+	// retry exhausted or the location's circuit breaker open — so no
+	// comparison was even attempted. The issue stays unlocalized (an
+	// explicit insufficient-style outcome, mirroring Algorithm 1's refusal
+	// to guess) rather than being blamed from stale data. Omitted from
+	// JSON when false so fault-free reports are byte-identical to before.
+	Degraded   bool `json:",omitempty"`
 	AS         netmodel.ASN
 	Segment    netmodel.Segment
 	IncreaseMS float64
@@ -202,10 +210,21 @@ func (l *Localizer) Process(b netmodel.Bucket, results []core.Result, tr *Tracke
 
 // ProcessIssues runs the active phase over pre-grouped issues.
 func (l *Localizer) ProcessIssues(b netmodel.Bucket, issues []Issue, tr *Tracker) []Verdict {
+	return l.ProcessIssuesContext(context.Background(), b, issues, tr)
+}
+
+// ProcessIssuesContext is ProcessIssues with cancellation, threaded into
+// fallible probers (a live traceroute blocks on the network; ctx bounds
+// it). A probe that fails outright — retries exhausted, circuit open —
+// yields a Degraded verdict instead of a localization: the §5.2
+// comparison is only ever run against measurements that actually
+// completed.
+func (l *Localizer) ProcessIssuesContext(ctx context.Context, b netmodel.Bucket, issues []Issue, tr *Tracker) []Verdict {
 	for i := range issues {
 		l.Estimate(&issues[i], tr.Lasted(issues[i].Key))
 	}
 	Prioritize(issues)
+	ep, fallible := l.Prober.(probe.ErrProber)
 	verdicts := make([]Verdict, 0, len(issues))
 	for _, is := range issues {
 		v := Verdict{Issue: is}
@@ -213,7 +232,18 @@ func (l *Localizer) ProcessIssues(b netmodel.Bucket, issues []Issue, tr *Tracker
 			v.Probed = true
 			// One traceroute per middle issue, to a representative client.
 			target := is.Prefixes[0]
-			now := l.Prober.Traceroute(is.Cloud, target, b, probe.OnDemand)
+			var now probe.Traceroute
+			if fallible {
+				var perr error
+				now, perr = ep.TracerouteErr(ctx, is.Cloud, target, b, probe.OnDemand)
+				if perr != nil {
+					v.Degraded = true
+					verdicts = append(verdicts, v)
+					continue
+				}
+			} else {
+				now = l.Prober.Traceroute(is.Cloud, target, b, probe.OnDemand)
+			}
 			// The baseline is looked up by the path the probe actually
 			// took, and must predate the issue's start — comparing against
 			// a measurement taken during the incident would hide it. When

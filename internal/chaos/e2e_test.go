@@ -1,0 +1,234 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/chaos"
+	"blameit/internal/faults"
+	"blameit/internal/ingest"
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// armResult is one arm of the A/B run: identical world and fault
+// schedule, with or without chaos injection.
+type armResult struct {
+	pipe *pipeline.Pipeline
+	csrc *chaos.Source
+	cpr  *chaos.Prober
+	reg  *metrics.Registry
+
+	// Verdict grading against simulator ground truth.
+	probed, degraded, localized int
+	correct, wrong, graded      int
+	// Health observed across reports.
+	unhealthyReports int
+	probeFailureSum  int64
+}
+
+// runArm drives a full 1-warmup + 7-day run over the shared world and
+// fault schedule, grading every active-phase verdict.
+func runArm(t *testing.T, chaosOn bool, fs []faults.Fault, days int) *armResult {
+	t.Helper()
+	w := topology.Generate(topology.SmallScale(), 42)
+	horizon := netmodel.Bucket((days + 1) * netmodel.BucketsPerDay)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 7)
+	s := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
+
+	cfg := pipeline.DefaultConfig()
+	res := &armResult{reg: metrics.NewRegistry()}
+	cfg.Metrics = res.reg
+	deps := pipeline.SimDeps(s, cfg.ProbeNoiseMS)
+	if chaosOn {
+		ccfg := chaos.Heavy(1234)
+		res.csrc = chaos.NewSource(deps.Source, ccfg, netmodel.PrefixID(len(w.Prefixes)))
+		res.cpr = chaos.NewProber(deps.Prober, ccfg)
+		deps.Source = res.csrc
+		deps.Prober = res.cpr
+	}
+	p := pipeline.New(deps, cfg)
+	res.pipe = p
+	if err := p.Warmup(0, netmodel.BucketsPerDay); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	err := p.Run(netmodel.BucketsPerDay, horizon, func(rep *pipeline.Report) {
+		if rep.Health.Source != pipeline.Healthy || rep.Health.Prober != pipeline.Healthy {
+			res.unhealthyReports++
+		}
+		res.probeFailureSum += rep.Health.ProbeFailures
+		for _, v := range rep.Verdicts {
+			if !v.Probed {
+				continue
+			}
+			res.probed++
+			if v.Degraded {
+				res.degraded++
+				continue
+			}
+			if !v.OK {
+				continue
+			}
+			res.localized++
+			// Grade only clear-cut cases: the ground-truth inflation is
+			// dominant, sizable, and in the middle segment.
+			target := v.Issue.Prefixes[0]
+			inf := s.DominantInflation(target, v.Issue.Cloud, rep.To)
+			if inf.Segment != netmodel.SegMiddle || !inf.Dominant || inf.TotalMS < 20 {
+				continue
+			}
+			res.graded++
+			if v.AS == inf.AS {
+				res.correct++
+			} else {
+				res.wrong++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func (r *armResult) wrongFrac() float64 {
+	if r.graded == 0 {
+		return 0
+	}
+	return float64(r.wrong) / float64(r.graded)
+}
+
+// TestChaosEndToEnd is the headline robustness test: a 7-day run under
+// the heavy chaos profile (20% probe failures, 5% corrupt records,
+// bursty late delivery) against a fault-free-infrastructure control arm
+// over the identical world and incident schedule. The chaos arm must
+// finish without panics, account for every injected fault, and degrade
+// gracefully: fewer localizations are fine, *wrong* localizations are
+// not.
+func TestChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7-day chaos A/B run skipped in -short mode")
+	}
+	const days = 7
+	w := topology.Generate(topology.SmallScale(), 42)
+	// One middle-AS incident per day across regions, long enough (90 min)
+	// for detection and probing, starting a full day after warmup so
+	// baselines exist. A cloud and a client fault ride along so the chaos
+	// arm also exercises non-middle classifications.
+	regions := []netmodel.Region{netmodel.RegionUSA, netmodel.RegionEurope, netmodel.RegionEastAsia}
+	var fs []faults.Fault
+	for d := 1; d < days; d++ {
+		tr := w.Transits[regions[d%len(regions)]]
+		fs = append(fs, faults.Fault{
+			Kind: faults.MiddleASFault, AS: tr[d%len(tr)], ScopeCloud: faults.NoCloud,
+			Start:    netmodel.Bucket((d + 1) * netmodel.BucketsPerDay),
+			Duration: 18, ExtraMS: 90,
+		})
+	}
+	fs = append(fs,
+		faults.Fault{Kind: faults.CloudFault, Cloud: w.Clouds[0].ID, ScopeCloud: faults.NoCloud,
+			Start: 2*netmodel.BucketsPerDay + 100, Duration: 12, ExtraMS: 60},
+		faults.Fault{Kind: faults.ClientPrefixFault, Prefix: w.Prefixes[0].ID,
+			Start: 3*netmodel.BucketsPerDay + 50, Duration: 12, ExtraMS: 70},
+	)
+
+	golden := runArm(t, false, fs, days)
+	hostile := runArm(t, true, fs, days)
+
+	// --- Control arm sanity: no chaos, no fault bookkeeping. ---
+	if n := golden.pipe.Quarantine().Total(); n != 0 {
+		t.Errorf("control arm quarantined %d records", n)
+	}
+	if r, d := golden.pipe.SourceFaults(); r != 0 || d != 0 {
+		t.Errorf("control arm saw source faults: retries=%d dark=%d", r, d)
+	}
+	if golden.unhealthyReports != 0 {
+		t.Errorf("control arm reported %d unhealthy intervals", golden.unhealthyReports)
+	}
+	if golden.graded == 0 || golden.correct == 0 {
+		t.Fatalf("control arm graded nothing (graded=%d correct=%d) — test world too quiet", golden.graded, golden.correct)
+	}
+
+	// --- Every injected fault must be accounted for. ---
+	st := hostile.csrc.Stats()
+	q := hostile.pipe.Quarantine()
+	if st.Corrupted == 0 || st.Held == 0 || st.Duplicated == 0 || st.TransientErrs == 0 {
+		t.Fatalf("heavy profile injected nothing: %+v", st)
+	}
+	if got := q.Count(ingest.ReasonCorrupt); got != st.Corrupted {
+		t.Errorf("corrupt: injected %d, quarantined %d", st.Corrupted, got)
+	}
+	if got := q.Count(ingest.ReasonLate); got != st.LateDelivered {
+		t.Errorf("late: delivered %d, quarantined %d", st.LateDelivered, got)
+	}
+	if got := q.Count(ingest.ReasonDuplicate); got != st.Duplicated {
+		t.Errorf("duplicate: injected %d, quarantined %d", st.Duplicated, got)
+	}
+	if got := int64(hostile.csrc.PendingLate()); got != st.Held-st.LateDelivered {
+		t.Errorf("pending late = %d, want %d", got, st.Held-st.LateDelivered)
+	}
+	retries, dark := hostile.pipe.SourceFaults()
+	if retries+dark != st.TransientErrs {
+		t.Errorf("transient errors: injected %d, pipeline absorbed %d retries + %d dark buckets", st.TransientErrs, retries, dark)
+	}
+	rp, ok := hostile.pipe.Prober.(*probe.RetryingProber)
+	if !ok {
+		t.Fatal("pipeline did not wrap the chaos prober in a RetryingProber")
+	}
+	pst := hostile.cpr.Stats()
+	if pst.FailuresInjected == 0 || pst.Truncated == 0 {
+		t.Fatalf("prober injected nothing: %+v", pst)
+	}
+	if rp.Stats().Failures != pst.FailuresInjected {
+		t.Errorf("retrier saw %d failures, injector injected %d", rp.Stats().Failures, pst.FailuresInjected)
+	}
+	// The same books, through the metrics registry.
+	snap := hostile.reg.Snapshot()
+	for name, want := range map[string]int64{
+		"chaos.source.corrupted":      st.Corrupted,
+		"chaos.source.late_delivered": st.LateDelivered,
+		"chaos.source.duplicated":     st.Duplicated,
+		"chaos.source.transient_errs": st.TransientErrs,
+		"chaos.probe.failures":        pst.FailuresInjected,
+		"ingest.quarantine.corrupt":   st.Corrupted,
+		"pipeline.source.retries":     retries,
+	} {
+		if got, ok := snap.Counter(name); !ok || got != want {
+			t.Errorf("counter %s = %d (ok=%v), want %d", name, got, ok, want)
+		}
+	}
+
+	// --- Degradation must be visible... ---
+	if hostile.unhealthyReports == 0 {
+		t.Error("no report flagged the data plane unhealthy under heavy chaos")
+	}
+	if hostile.probeFailureSum != pst.FailuresInjected {
+		t.Errorf("health reports account %d probe failures, injector injected %d", hostile.probeFailureSum, pst.FailuresInjected)
+	}
+	if hostile.degraded == 0 {
+		t.Error("no degraded verdicts despite 20% probe failures")
+	}
+	if golden.degraded != 0 {
+		t.Errorf("control arm emitted %d degraded verdicts", golden.degraded)
+	}
+
+	// --- ...and graceful: shortfall, never wrong answers. ---
+	if hostile.correct == 0 {
+		t.Error("chaos arm localized nothing correctly over 7 days")
+	}
+	if hostile.localized*2 < golden.localized {
+		t.Errorf("chaos arm localized %d issues vs control %d — degraded more than half", hostile.localized, golden.localized)
+	}
+	if hf, gf := hostile.wrongFrac(), golden.wrongFrac(); hf > gf+0.05 {
+		t.Errorf("wrong-localization fraction %.3f under chaos vs %.3f control — corrupt data is flipping verdicts", hf, gf)
+	}
+	t.Logf("control: probed=%d localized=%d graded=%d correct=%d wrong=%d",
+		golden.probed, golden.localized, golden.graded, golden.correct, golden.wrong)
+	t.Logf("chaos:   probed=%d localized=%d graded=%d correct=%d wrong=%d degraded=%d",
+		hostile.probed, hostile.localized, hostile.graded, hostile.correct, hostile.wrong, hostile.degraded)
+	t.Logf("injected: %+v / %+v ; quarantine: %s ; retries=%d dark=%d", st, pst, q, retries, dark)
+}

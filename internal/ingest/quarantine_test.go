@@ -1,0 +1,162 @@
+package ingest
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+func obsAt(p netmodel.PrefixID, c netmodel.CloudID, d netmodel.DeviceClass, b netmodel.Bucket) trace.Observation {
+	return trace.Observation{Prefix: p, Cloud: c, Device: d, Bucket: b, Samples: 20, MeanRTT: 50, Clients: 10}
+}
+
+func TestQuarantineFilterReasons(t *testing.T) {
+	q := NewQuarantine(100, 4)
+	late := obsAt(1, 0, 0, 4) // wrong bucket
+	nan := obsAt(2, 0, 0, 5)
+	nan.MeanRTT = math.NaN()
+	inf := obsAt(3, 0, 0, 5)
+	inf.MeanRTT = math.Inf(1)
+	neg := obsAt(4, 0, 0, 5)
+	neg.MeanRTT = -1
+	negSamples := obsAt(5, 0, 0, 5)
+	negSamples.Samples = -3
+	unknownPrefix := obsAt(100, 0, 0, 5) // == numPrefixes, out of range
+	unknownCloud := obsAt(6, 4, 0, 5)
+	good := obsAt(7, 0, 0, 5)
+	dup := good // same identity, same bucket
+
+	in := []trace.Observation{late, nan, inf, neg, negSamples, unknownPrefix, unknownCloud, good, dup}
+	out := q.Filter(5, in)
+	if len(out) != 1 || out[0].Prefix != 7 {
+		t.Fatalf("Filter kept %v, want only prefix 7", out)
+	}
+	if got := q.Count(ReasonLate); got != 1 {
+		t.Errorf("late count = %d, want 1", got)
+	}
+	if got := q.Count(ReasonCorrupt); got != 6 {
+		t.Errorf("corrupt count = %d, want 6", got)
+	}
+	if got := q.Count(ReasonDuplicate); got != 1 {
+		t.Errorf("duplicate count = %d, want 1", got)
+	}
+	if got := q.Total(); got != 8 {
+		t.Errorf("total = %d, want 8", got)
+	}
+	if s := q.String(); !strings.Contains(s, "corrupt=6") {
+		t.Errorf("String() = %q, want corrupt=6", s)
+	}
+}
+
+func TestQuarantineDedupeResetsPerBucket(t *testing.T) {
+	q := NewQuarantine(10, 2)
+	// Same identity in two different buckets is NOT a duplicate.
+	if out := q.Filter(1, []trace.Observation{obsAt(1, 0, 0, 1)}); len(out) != 1 {
+		t.Fatalf("bucket 1 rejected a clean record")
+	}
+	if out := q.Filter(2, []trace.Observation{obsAt(1, 0, 0, 2)}); len(out) != 1 {
+		t.Fatalf("bucket 2 rejected a record seen in bucket 1")
+	}
+	// Different device classes are distinct identities.
+	out := q.Filter(3, []trace.Observation{obsAt(1, 0, 0, 3), obsAt(1, 0, 1, 3)})
+	if len(out) != 2 {
+		t.Fatalf("distinct device classes deduped: kept %d", len(out))
+	}
+	if q.Total() != 0 {
+		t.Fatalf("clean traffic quarantined: %s", q.String())
+	}
+}
+
+func TestQuarantineMetricsLazy(t *testing.T) {
+	reg := metrics.NewRegistry()
+	q := NewQuarantine(10, 2)
+	q.SetMetrics(reg)
+	// Nothing rejected yet: no quarantine counters may exist (the golden
+	// metric snapshot must not change when the data plane is healthy).
+	for _, nv := range reg.Snapshot().Counters {
+		if strings.HasPrefix(nv.Name, "ingest.quarantine.") {
+			t.Fatalf("counter %s registered before any rejection", nv.Name)
+		}
+	}
+	q.Filter(5, []trace.Observation{obsAt(1, 0, 0, 4)})
+	if v, ok := reg.Snapshot().Counter("ingest.quarantine.late"); !ok || v != 1 {
+		t.Fatalf("ingest.quarantine.late = %d (ok=%v), want 1", v, ok)
+	}
+	if _, ok := reg.Snapshot().Counter("ingest.quarantine.corrupt"); ok {
+		t.Fatal("untouched reason registered a counter")
+	}
+}
+
+func TestQuarantineRecentRing(t *testing.T) {
+	q := NewQuarantine(10, 2)
+	for i := 0; i < recentCap+5; i++ {
+		q.Reject(obsAt(netmodel.PrefixID(i%10), 0, 0, 99), ReasonLate, 0)
+	}
+	rec := q.Recent()
+	if len(rec) != recentCap {
+		t.Fatalf("Recent() returned %d entries, want %d", len(rec), recentCap)
+	}
+	// Oldest-first: the first retained rejection is #5.
+	if rec[0].Obs.Prefix != 5 {
+		t.Errorf("Recent()[0].Obs.Prefix = %d, want 5", rec[0].Obs.Prefix)
+	}
+	if last := rec[len(rec)-1]; last.Obs.Prefix != netmodel.PrefixID((recentCap+4)%10) {
+		t.Errorf("Recent() last prefix = %d, want %d", last.Obs.Prefix, (recentCap+4)%10)
+	}
+}
+
+func TestTransientError(t *testing.T) {
+	base := context.DeadlineExceeded
+	if IsTransient(base) {
+		t.Error("plain error reported transient")
+	}
+	wrapped := Transient(base)
+	if !IsTransient(wrapped) {
+		t.Error("Transient() wrapper not detected")
+	}
+	if wrapped.Error() != base.Error() {
+		t.Errorf("message changed: %q", wrapped.Error())
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+func TestStreamSourceQuarantineMode(t *testing.T) {
+	in := `{"prefix":1,"cloud":0,"device":0,"bucket":0,"samples":20,"mean_rtt_ms":40,"clients":9}
+this is not json
+{"prefix":2,"cloud":0,"device":0,"bucket":1,"samples":20,"mean_rtt_ms":41,"clients":9}
+{"prefix":3,"cloud":0,"device":0,"bucket":0,"samples":20,"mean_rtt_ms":42,"clients":9}
+{"prefix":4,"cloud":0,"device":0,"bucket":1,"samples":20,"mean_rtt_ms":43,"clients":9}`
+	q := NewQuarantine(100, 4)
+	s := NewStreamSource(strings.NewReader(in))
+	s.SetQuarantine(q)
+	ctx := context.Background()
+	b0, err := s.ObservationsAt(ctx, 0, nil)
+	if err != nil {
+		t.Fatalf("bucket 0: %v", err)
+	}
+	b1, err := s.ObservationsAt(ctx, 1, nil)
+	if err != nil {
+		t.Fatalf("bucket 1: %v", err)
+	}
+	if len(b0) != 1 || b0[0].Prefix != 1 {
+		t.Errorf("bucket 0 = %v, want [prefix 1]", b0)
+	}
+	// Prefix 3 regresses (bucket 1 → 0) and is quarantined as late; the
+	// malformed line is quarantined too; prefixes 2 and 4 survive.
+	if len(b1) != 2 || b1[0].Prefix != 2 || b1[1].Prefix != 4 {
+		t.Errorf("bucket 1 = %v, want [prefix 2, prefix 4]", b1)
+	}
+	if q.Count(ReasonMalformed) != 1 || q.Count(ReasonLate) != 1 {
+		t.Errorf("quarantine = %s, want malformed=1 late=1", q)
+	}
+	if !s.Exhausted() || s.LastBucket() != 1 {
+		t.Errorf("Exhausted=%v LastBucket=%d, want true/1", s.Exhausted(), s.LastBucket())
+	}
+}

@@ -15,6 +15,8 @@ package pipeline
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -54,6 +56,18 @@ type Config struct {
 	// WarmupSampleEvery subsamples warmup buckets when learning expected
 	// RTTs (1 = every bucket).
 	WarmupSampleEvery int
+	// SourceRetries is how many times a transient observation-read error
+	// (ingest.TransientError) is retried before the bucket is declared
+	// dark — skipped, its records lost, the loss counted
+	// (pipeline.source.dark_buckets). Fatal errors never retry. 0 disables
+	// retries; negative is invalid.
+	SourceRetries int
+	// Retry is the policy of the probe.RetryingProber the pipeline wraps
+	// around fallible probers (implementations of probe.ErrProber). Zero
+	// values take probe.DefaultRetryConfig. Infallible probers — the
+	// simulated Engine, the Replayer — are never wrapped, so fault-free
+	// and replay runs are untouched.
+	Retry probe.RetryConfig
 	// Workers caps the concurrency of the Algorithm 1 job: the per-bucket
 	// core.Localize calls of one window run on up to Workers goroutines
 	// and their Results are merged in bucket order, so reports are
@@ -77,7 +91,43 @@ func DefaultConfig() Config {
 		TopNAlerts:           10,
 		ProbeNoiseMS:         0.5,
 		WarmupSampleEvery:    4,
+		SourceRetries:        2,
 	}
+}
+
+// Validate rejects configurations with no meaningful interpretation —
+// negative counts, thresholds outside their domain — instead of silently
+// correcting them. The zero-value sentinels stay valid (Workers 0 = all
+// cores, RunEvery/WarmupSampleEvery 0 = every bucket, TopNAlerts/
+// BudgetPerCloudPerDay 0 = unlimited). New panics on an invalid config;
+// callers assembling configs from external input (flags) should Validate
+// first and report the error.
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("pipeline: Workers %d must be >= 0 (0 = all cores)", c.Workers)
+	case c.RunEvery < 0:
+		return fmt.Errorf("pipeline: RunEvery %d must be >= 0 (0 = every bucket)", c.RunEvery)
+	case c.WarmupSampleEvery < 0:
+		return fmt.Errorf("pipeline: WarmupSampleEvery %d must be >= 0 (0 = every bucket)", c.WarmupSampleEvery)
+	case c.TopNAlerts < 0:
+		return fmt.Errorf("pipeline: TopNAlerts %d must be >= 0 (0 = unlimited)", c.TopNAlerts)
+	case c.BudgetPerCloudPerDay < 0:
+		return fmt.Errorf("pipeline: BudgetPerCloudPerDay %d must be >= 0 (0 = unlimited)", c.BudgetPerCloudPerDay)
+	case math.IsNaN(c.ProbeNoiseMS) || c.ProbeNoiseMS < 0:
+		return fmt.Errorf("pipeline: ProbeNoiseMS %v must be >= 0", c.ProbeNoiseMS)
+	case c.SourceRetries < 0:
+		return fmt.Errorf("pipeline: SourceRetries %d must be >= 0", c.SourceRetries)
+	case math.IsNaN(c.Core.Tau) || c.Core.Tau <= 0 || c.Core.Tau > 1:
+		return fmt.Errorf("pipeline: Core.Tau %v must be in (0, 1]", c.Core.Tau)
+	case c.Core.MinAggregate < 1:
+		return fmt.Errorf("pipeline: Core.MinAggregate %d must be >= 1", c.Core.MinAggregate)
+	case c.Background.PeriodBuckets < 0:
+		return fmt.Errorf("pipeline: Background.PeriodBuckets %d must be >= 0 (0 = no periodic probes)", c.Background.PeriodBuckets)
+	case c.Background.ChurnDedupeBuckets < 0:
+		return fmt.Errorf("pipeline: Background.ChurnDedupeBuckets %d must be >= 0 (0 = no dedup)", c.Background.ChurnDedupeBuckets)
+	}
+	return nil
 }
 
 // Report is the output of one Algorithm 1 job run.
@@ -96,6 +146,58 @@ type Report struct {
 	// of the window's buckets plus the job itself. Experiments can assert
 	// on per-run counts without diffing registry snapshots themselves.
 	Metrics metrics.Snapshot
+	// Health grades the data plane over this job interval: what the
+	// ingestion and probing layers absorbed (quarantined records, retried
+	// reads, dark buckets, failed probes, open circuits) and the resulting
+	// per-component state. Excluded from CanonicalJSON — health describes
+	// the transport, not the verdicts, and a degraded replay of a perfect
+	// recording must still be byte-equivalent.
+	Health Health
+}
+
+// ComponentHealth grades one data-plane component over a job interval.
+type ComponentHealth int
+
+const (
+	// Healthy means no faults were observed in the interval.
+	Healthy ComponentHealth = iota
+	// Degraded means faults occurred but were absorbed: retried reads,
+	// quarantined records, failed probe attempts that later succeeded.
+	Degraded
+	// Dark means the component delivered nothing usable: every bucket of
+	// the interval was lost, or probe circuits are open.
+	Dark
+)
+
+// String names the health state.
+func (h ComponentHealth) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dark:
+		return "dark"
+	default:
+		return fmt.Sprintf("ComponentHealth(%d)", int(h))
+	}
+}
+
+// Health is the per-component data-plane summary attached to each Report,
+// with the interval counts behind each grade. It is also mirrored into the
+// pipeline.health.source / pipeline.health.prober gauges (0 healthy,
+// 1 degraded, 2 dark).
+type Health struct {
+	Source ComponentHealth `json:"source"`
+	Prober ComponentHealth `json:"prober"`
+	// Source-side interval counts.
+	Quarantined   int64 `json:"quarantined,omitempty"`
+	SourceRetries int64 `json:"source_retries,omitempty"`
+	DarkBuckets   int64 `json:"dark_buckets,omitempty"`
+	// Prober-side interval counts (zero unless the prober is fallible).
+	ProbeFailures  int64 `json:"probe_failures,omitempty"`
+	ProbeExhausted int64 `json:"probe_exhausted,omitempty"`
+	OpenCircuits   int   `json:"open_circuits,omitempty"`
 }
 
 // canonicalReport is the deterministic projection of a Report: everything
@@ -224,6 +326,23 @@ type Pipeline struct {
 	// (or at the first Step), the baseline for Report.Metrics deltas.
 	lastSnap       metrics.Snapshot
 	lastSnapPrimed bool
+
+	// quar is the ingestion quarantine every observation read is validated
+	// through; srcRetries/darkBuckets account transient-read recovery.
+	// The last* fields are the cumulative values at the previous report,
+	// for Health interval deltas. The fault counters register lazily so a
+	// clean run's metric snapshot is unchanged.
+	quar           *ingest.Quarantine
+	srcRetries     int64
+	darkBuckets    int64
+	mSourceRetries *metrics.Counter
+	mDarkBuckets   *metrics.Counter
+	mHealthSource  *metrics.Gauge
+	mHealthProber  *metrics.Gauge
+	lastQuarTotal  int64
+	lastSrcRetries int64
+	lastDark       int64
+	lastProbeStats probe.RetryStats
 }
 
 // New assembles a pipeline over explicit dependencies. The simulator is
@@ -233,6 +352,9 @@ type Pipeline struct {
 func New(deps Deps, cfg Config) *Pipeline {
 	if deps.World == nil || deps.Table == nil || deps.Source == nil || deps.Prober == nil {
 		panic("pipeline: Deps.World, Table, Source, and Prober are all required")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.RunEvery < 1 {
 		cfg.RunEvery = 1
@@ -247,12 +369,22 @@ func New(deps Deps, cfg Config) *Pipeline {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	// A fallible prober (one implementing probe.ErrProber) is hardened
+	// behind the retrying wrapper, so every consumer — baseliner, active
+	// phase — gets retries and breaker protection. Infallible probers
+	// (Engine, Replayer) pass through untouched.
+	pr := deps.Prober
+	if _, wrapped := pr.(*probe.RetryingProber); !wrapped {
+		if _, fallible := pr.(probe.ErrProber); fallible {
+			pr = probe.NewRetryingProber(pr, cfg.Retry)
+		}
+	}
 	p := &Pipeline{
 		World:     deps.World,
 		Table:     deps.Table,
 		Cfg:       cfg,
 		Source:    deps.Source,
-		Prober:    deps.Prober,
+		Prober:    pr,
 		Store:     deps.Store,
 		Metrics:   reg,
 		Learner:   core.NewLearner(),
@@ -260,9 +392,14 @@ func New(deps Deps, cfg Config) *Pipeline {
 		Clients:   predict.NewClientPredictor(),
 		Alerter:   alerting.NewAlerter(cfg.TopNAlerts),
 	}
-	if m, ok := deps.Prober.(interface{ SetMetrics(*metrics.Registry) }); ok {
+	if m, ok := p.Prober.(interface{ SetMetrics(*metrics.Registry) }); ok {
 		m.SetMetrics(reg)
 	}
+	if m, ok := p.Source.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
+	p.quar = ingest.NewQuarantine(netmodel.PrefixID(len(deps.World.Prefixes)), len(deps.World.Clouds))
+	p.quar.SetMetrics(reg)
 	p.Alerter.SetMetrics(reg)
 	p.mStageCollect = reg.Histogram("pipeline.stage.collect_ms", metrics.MSBuckets)
 	p.mStageClassify = reg.Histogram("pipeline.stage.classify_ms", metrics.MSBuckets)
@@ -314,10 +451,11 @@ func (p *Pipeline) Warmup(from, to netmodel.Bucket) error {
 
 // WarmupContext is Warmup with cancellation.
 func (p *Pipeline) WarmupContext(ctx context.Context, from, to netmodel.Bucket) error {
+	if to < from {
+		return fmt.Errorf("pipeline: inverted warmup window [%d, %d)", from, to)
+	}
 	for b := from; b < to; b += netmodel.Bucket(p.Cfg.WarmupSampleEvery) {
-		var err error
-		p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
-		if err != nil {
+		if err := p.readObservations(ctx, b); err != nil {
 			return err
 		}
 		for _, o := range p.obsBuf {
@@ -383,9 +521,7 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 	}
 	// Passive collection and classification.
 	collectStart := time.Now()
-	var err error
-	p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
-	if err != nil {
+	if err := p.readObservations(ctx, b); err != nil {
 		return nil, err
 	}
 	classifyStart := time.Now()
@@ -432,6 +568,87 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 // msSince returns the wall time between two instants in milliseconds.
 func msSince(from, to time.Time) float64 {
 	return float64(to.Sub(from)) / float64(time.Millisecond)
+}
+
+// readObservations fills p.obsBuf with bucket b's records, validated
+// through the quarantine (late, corrupt, and duplicate records are
+// diverted there instead of reaching the aggregates). Transient source
+// errors are retried up to Cfg.SourceRetries times; when retries run out
+// the bucket is declared dark — counted, records lost, run continues.
+// Fatal errors (cancellation, strict decode failures) propagate.
+func (p *Pipeline) readObservations(ctx context.Context, b netmodel.Bucket) error {
+	for attempt := 0; ; attempt++ {
+		var err error
+		p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
+		if err == nil {
+			p.obsBuf = p.quar.Filter(b, p.obsBuf)
+			return nil
+		}
+		if ctx.Err() != nil || !ingest.IsTransient(err) {
+			return err
+		}
+		if attempt >= p.Cfg.SourceRetries {
+			p.darkBuckets++
+			if p.mDarkBuckets == nil {
+				p.mDarkBuckets = p.Metrics.Counter("pipeline.source.dark_buckets")
+			}
+			p.mDarkBuckets.Inc()
+			p.obsBuf = p.obsBuf[:0]
+			return nil
+		}
+		p.srcRetries++
+		if p.mSourceRetries == nil {
+			p.mSourceRetries = p.Metrics.Counter("pipeline.source.retries")
+		}
+		p.mSourceRetries.Inc()
+	}
+}
+
+// Quarantine exposes the ingestion quarantine for inspection (counts,
+// recent rejects). Never nil.
+func (p *Pipeline) Quarantine() *ingest.Quarantine { return p.quar }
+
+// SourceFaults reports the cumulative transient-read retries and dark
+// (abandoned) buckets since the pipeline started.
+func (p *Pipeline) SourceFaults() (retries, darkBuckets int64) {
+	return p.srcRetries, p.darkBuckets
+}
+
+// healthInterval grades the data plane over the job interval ending at
+// bucket b (spanning `buckets` buckets) and advances the interval
+// baselines.
+func (p *Pipeline) healthInterval(b netmodel.Bucket, buckets int) Health {
+	var h Health
+	qt := p.quar.Total()
+	h.Quarantined, p.lastQuarTotal = qt-p.lastQuarTotal, qt
+	h.SourceRetries, p.lastSrcRetries = p.srcRetries-p.lastSrcRetries, p.srcRetries
+	h.DarkBuckets, p.lastDark = p.darkBuckets-p.lastDark, p.darkBuckets
+	switch {
+	case buckets > 0 && h.DarkBuckets >= int64(buckets):
+		h.Source = Dark
+	case h.DarkBuckets > 0 || h.Quarantined > 0 || h.SourceRetries > 0:
+		h.Source = Degraded
+	}
+	if rp, ok := p.Prober.(*probe.RetryingProber); ok {
+		st := rp.Stats()
+		h.ProbeFailures = st.Failures - p.lastProbeStats.Failures
+		h.ProbeExhausted = st.Exhausted - p.lastProbeStats.Exhausted
+		p.lastProbeStats = st
+		h.OpenCircuits = rp.OpenCircuits(b)
+		switch {
+		case h.OpenCircuits > 0:
+			h.Prober = Dark
+		case h.ProbeFailures > 0:
+			h.Prober = Degraded
+		}
+	}
+	if p.mHealthSource == nil {
+		p.mHealthSource = p.Metrics.Gauge("pipeline.health.source")
+		p.mHealthProber = p.Metrics.Gauge("pipeline.health.prober")
+	}
+	p.mHealthSource.Set(int64(h.Source))
+	p.mHealthProber.Set(int64(h.Prober))
+	return h
 }
 
 // runJob executes the Algorithm 1 job over the accumulated window.
@@ -486,7 +703,7 @@ func (p *Pipeline) runJob(ctx context.Context, b netmodel.Bucket) (*Report, erro
 	// true path keys are used (the grouping override may be coarser).
 	p.Baseliner.Suppress(active.MiddleKeysOf(rep.Results), b+netmodel.Bucket(2*p.Cfg.RunEvery))
 	issues := active.GroupIssuesBy(rep.Results, b, p.keyFunc)
-	rep.Verdicts = p.Active.ProcessIssues(b, issues, p.MiddleTracker)
+	rep.Verdicts = p.Active.ProcessIssuesContext(ctx, b, issues, p.MiddleTracker)
 	alertStart := time.Now()
 	p.mStageActive.Observe(msSince(activeStart, alertStart))
 	rep.Tickets = p.Alerter.Generate(b, rep.Results, rep.Verdicts)
@@ -500,6 +717,7 @@ func (p *Pipeline) runJob(ctx context.Context, b netmodel.Bucket) (*Report, erro
 	cur := p.Metrics.Snapshot()
 	rep.Metrics = cur.Delta(p.lastSnap)
 	p.lastSnap = cur
+	rep.Health = p.healthInterval(b, nb)
 	return rep, nil
 }
 
@@ -513,6 +731,9 @@ func (p *Pipeline) Run(from, to netmodel.Bucket, cb func(*Report)) error {
 // ctx is done and returns the context's error. A cancelled run leaves the
 // pipeline's learned state consistent up to the last completed bucket.
 func (p *Pipeline) RunContext(ctx context.Context, from, to netmodel.Bucket, cb func(*Report)) error {
+	if to < from {
+		return fmt.Errorf("pipeline: inverted run window [%d, %d)", from, to)
+	}
 	for b := from; b < to; b++ {
 		if err := ctx.Err(); err != nil {
 			return err

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+// TestConfigValidate exercises every rejection branch of Config.Validate
+// plus the documented zero-value sentinels, which must stay valid.
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; "" = valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"zero sentinels", func(c *Config) {
+			c.Workers, c.RunEvery, c.WarmupSampleEvery = 0, 0, 0
+			c.TopNAlerts, c.BudgetPerCloudPerDay, c.SourceRetries = 0, 0, 0
+			c.Background.PeriodBuckets, c.Background.ChurnDedupeBuckets = 0, 0
+		}, ""},
+		{"negative workers", func(c *Config) { c.Workers = -1 }, "Workers"},
+		{"negative run cadence", func(c *Config) { c.RunEvery = -3 }, "RunEvery"},
+		{"negative warmup sampling", func(c *Config) { c.WarmupSampleEvery = -1 }, "WarmupSampleEvery"},
+		{"negative alert cap", func(c *Config) { c.TopNAlerts = -5 }, "TopNAlerts"},
+		{"negative budget", func(c *Config) { c.BudgetPerCloudPerDay = -1 }, "BudgetPerCloudPerDay"},
+		{"NaN probe noise", func(c *Config) { c.ProbeNoiseMS = math.NaN() }, "ProbeNoiseMS"},
+		{"negative probe noise", func(c *Config) { c.ProbeNoiseMS = -0.5 }, "ProbeNoiseMS"},
+		{"negative source retries", func(c *Config) { c.SourceRetries = -1 }, "SourceRetries"},
+		{"tau zero", func(c *Config) { c.Core.Tau = 0 }, "Tau"},
+		{"tau above one", func(c *Config) { c.Core.Tau = 1.1 }, "Tau"},
+		{"tau NaN", func(c *Config) { c.Core.Tau = math.NaN() }, "Tau"},
+		{"min aggregate zero", func(c *Config) { c.Core.MinAggregate = 0 }, "MinAggregate"},
+		{"negative baseline period", func(c *Config) { c.Background.PeriodBuckets = -1 }, "PeriodBuckets"},
+		{"negative churn dedup", func(c *Config) { c.Background.ChurnDedupeBuckets = -1 }, "ChurnDedupeBuckets"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted invalid config %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfig: construction must refuse a bad config
+// loudly (and name the offending knob) instead of misbehaving buckets
+// later.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), netmodel.BucketsPerDay, 7)
+	s := sim.New(w, tbl, faults.NewSchedule(nil), sim.DefaultConfig(99))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted a config with Tau = -1")
+		}
+		if !strings.Contains(fmt.Sprint(r), "Tau") {
+			t.Fatalf("panic %v does not name the offending knob", r)
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Core.Tau = -1
+	NewSim(s, cfg)
+}

@@ -60,6 +60,8 @@ type Baseliner struct {
 	mSuppressions *metrics.Counter
 	mSkipped      *metrics.Counter
 	mChurnDeduped *metrics.Counter
+	reg           *metrics.Registry
+	mFailed       *metrics.Counter // lazy: registered on first failed probe
 }
 
 type repTarget struct {
@@ -110,6 +112,7 @@ func (bg *Baseliner) NumPaths() int { return len(bg.reps) }
 // SetMetrics mirrors the baseliner's suppression and churn-dedup activity
 // into a metrics registry (probe.baseline.* counters).
 func (bg *Baseliner) SetMetrics(reg *metrics.Registry) {
+	bg.reg = reg
 	bg.mSuppressions = reg.Counter("probe.baseline.suppressions")
 	bg.mSkipped = reg.Counter("probe.baseline.refreshes_suppressed")
 	bg.mChurnDeduped = reg.Counter("probe.baseline.churn_deduped")
@@ -126,8 +129,20 @@ func offset(mk netmodel.MiddleKey, period netmodel.Bucket) netmodel.Bucket {
 	return netmodel.Bucket(h % uint64(period))
 }
 
-// store appends a baseline to the key's history ring.
+// store appends a baseline to the key's history ring. A failed traceroute
+// (no hops — every attempt exhausted on a fallible prober) is dropped: a
+// hopless entry could never be compared against, and overwriting a good
+// baseline with it would blind the active phase exactly when probes are
+// flaky. The drop is counted (probe.baseline.failed, registered lazily so
+// fault-free snapshots are unchanged).
 func (bg *Baseliner) store(tr Traceroute) {
+	if len(tr.Hops) == 0 {
+		if bg.mFailed == nil && bg.reg != nil {
+			bg.mFailed = bg.reg.Counter("probe.baseline.failed")
+		}
+		bg.mFailed.Inc()
+		return
+	}
 	mk := tr.Path.Key()
 	h := append(bg.baselines[mk], tr)
 	if len(h) > historyLen {

@@ -6,6 +6,7 @@
 package probe
 
 import (
+	"context"
 	"fmt"
 
 	"blameit/internal/metrics"
@@ -100,6 +101,17 @@ func (c *Counters) Total() int64 {
 type Prober interface {
 	Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute
 	Counters() *Counters
+}
+
+// ErrProber is the fallible prober capability: implementations whose
+// probes can time out or fail outright (a real tracert, a chaos wrapper)
+// additionally expose TracerouteErr, and consumers that can degrade
+// gracefully (RetryingProber, the active phase) prefer it. The returned
+// Traceroute may have no hops when err is non-nil. The infallible
+// simulated Engine and the Replayer deliberately do NOT implement it, so
+// fault-free paths keep their exact behavior.
+type ErrProber interface {
+	TracerouteErr(ctx context.Context, c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) (Traceroute, error)
 }
 
 // Engine issues simulated traceroutes against the latency ground truth of
@@ -209,8 +221,12 @@ type CompareResult struct {
 // is only compared when both traceroutes targeted the same /24, since
 // background baselines are probed to one representative client per path
 // and client-segment base latencies differ across prefixes.
+// A truncated or failed traceroute (fewer hops than the baseline, or none
+// at all) yields the zero CompareResult: OK=false, nothing localized. The
+// caller falls back to its insufficient/ambiguous verdict rather than
+// guessing from a partial path.
 func Compare(now, baseline Traceroute) CompareResult {
-	if len(now.Hops) != len(baseline.Hops) {
+	if len(now.Hops) == 0 || len(now.Hops) != len(baseline.Hops) {
 		return CompareResult{}
 	}
 	n := len(now.Hops)

@@ -1,0 +1,286 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+)
+
+// RetryConfig tunes the RetryingProber.
+type RetryConfig struct {
+	// MaxAttempts bounds the tries per probe, including the first
+	// (default 3).
+	MaxAttempts int
+	// PerAttemptTimeout is the context deadline applied to each attempt
+	// (default 2s). It matters only for probers that actually block; the
+	// simulated chaos wrappers fail synchronously.
+	PerAttemptTimeout time.Duration
+	// BackoffBase is the delay before the first retry; each further retry
+	// doubles it up to BackoffCap, with deterministic ±50% jitter derived
+	// from the probe key (defaults 100ms / 2s). Delays are only slept when
+	// a sleeper is installed with SetSleep — under simulated time retries
+	// are immediate, keeping runs deterministic and fast.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold opens a cloud location's circuit after this many
+	// consecutive exhausted probes from it (default 5; <0 disables the
+	// breaker).
+	BreakerThreshold int
+	// BreakerCooldownBuckets is how long (in bucket time, so replay stays
+	// deterministic) an open circuit refuses probes before letting one
+	// half-open trial through (default 3 buckets = 15 minutes).
+	BreakerCooldownBuckets netmodel.Bucket
+}
+
+// DefaultRetryConfig returns the production-shaped retry policy.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		MaxAttempts:            3,
+		PerAttemptTimeout:      2 * time.Second,
+		BackoffBase:            100 * time.Millisecond,
+		BackoffCap:             2 * time.Second,
+		BreakerThreshold:       5,
+		BreakerCooldownBuckets: 3,
+	}
+}
+
+// ErrCircuitOpen is returned while a cloud location's breaker is open: the
+// probe was refused without reaching the underlying prober.
+var ErrCircuitOpen = errors.New("probe: circuit open, probe refused")
+
+// RetryStats is the RetryingProber's cumulative accounting.
+type RetryStats struct {
+	// Attempts counts every try handed to the wrapped prober.
+	Attempts int64
+	// Failures counts attempts that returned an error.
+	Failures int64
+	// Retries counts re-attempts after a failed try.
+	Retries int64
+	// Succeeded counts probes that eventually returned a usable traceroute.
+	Succeeded int64
+	// Exhausted counts probes that failed every attempt.
+	Exhausted int64
+	// BreakerOpens counts circuit-open transitions (including re-opens
+	// after a failed half-open trial).
+	BreakerOpens int64
+	// BreakerShortCircuits counts probes refused while a circuit was open.
+	BreakerShortCircuits int64
+}
+
+type breakerState struct {
+	consecutive int // consecutive exhausted probes while closed
+	open        bool
+	openUntil   netmodel.Bucket
+	halfOpen    bool // one trial probe in flight after cooldown
+}
+
+// RetryingProber hardens a fallible prober: failed attempts are retried
+// with capped exponential backoff and deterministic jitter, and a
+// per-cloud circuit breaker stops hammering a location whose probes stay
+// dark — while open, probes are refused instantly (the active phase then
+// emits a degraded, non-localizing verdict instead of blocking the job).
+//
+// The breaker runs on bucket time, not wall time: cooldowns expire as the
+// simulation advances, so a run's outcome is independent of host speed and
+// reproducible under replay. Like every Prober in this repo it is driven
+// by one goroutine at a time (the pipeline probes serially).
+//
+// If the wrapped prober does not implement ErrProber it cannot fail, and
+// the wrapper is a transparent pass-through — wrapping an infallible
+// Engine changes nothing, byte for byte.
+type RetryingProber struct {
+	base  Prober
+	eb    ErrProber // nil when base cannot fail
+	cfg   RetryConfig
+	sleep func(time.Duration)
+
+	stats    RetryStats
+	breakers map[netmodel.CloudID]*breakerState
+
+	reg         *metrics.Registry
+	mFailures   *metrics.Counter
+	mRetries    *metrics.Counter
+	mExhausted  *metrics.Counter
+	mOpens      *metrics.Counter
+	mShortCircs *metrics.Counter
+}
+
+var _ Prober = (*RetryingProber)(nil)
+var _ ErrProber = (*RetryingProber)(nil)
+
+// NewRetryingProber wraps base with the given retry policy. Zero-valued
+// config fields take their defaults (DefaultRetryConfig); set
+// BreakerThreshold negative to disable the circuit breaker.
+func NewRetryingProber(base Prober, cfg RetryConfig) *RetryingProber {
+	def := DefaultRetryConfig()
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = def.MaxAttempts
+	}
+	if cfg.PerAttemptTimeout <= 0 {
+		cfg.PerAttemptTimeout = def.PerAttemptTimeout
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = def.BackoffBase
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = def.BackoffCap
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = def.BreakerThreshold
+	}
+	if cfg.BreakerCooldownBuckets <= 0 {
+		cfg.BreakerCooldownBuckets = def.BreakerCooldownBuckets
+	}
+	eb, _ := base.(ErrProber)
+	return &RetryingProber{base: base, eb: eb, cfg: cfg, breakers: make(map[netmodel.CloudID]*breakerState)}
+}
+
+// SetSleep installs a real sleeper for the backoff delays (live
+// deployments pass time.Sleep). Without one, retries are immediate — the
+// right behavior under simulated time.
+func (rp *RetryingProber) SetSleep(f func(time.Duration)) { rp.sleep = f }
+
+// SetMetrics registers the wrapper's failure accounting lazily (counters
+// appear on first event, so a fault-free run's snapshot is unchanged) and
+// forwards the registry to the wrapped prober.
+func (rp *RetryingProber) SetMetrics(reg *metrics.Registry) {
+	rp.reg = reg
+	if m, ok := rp.base.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
+}
+
+func (rp *RetryingProber) counter(handle **metrics.Counter, name string) *metrics.Counter {
+	if *handle == nil && rp.reg != nil {
+		*handle = rp.reg.Counter(name)
+	}
+	return *handle
+}
+
+// Stats returns the cumulative retry/breaker accounting.
+func (rp *RetryingProber) Stats() RetryStats { return rp.stats }
+
+// OpenCircuits counts cloud locations whose breaker is open at bucket b.
+func (rp *RetryingProber) OpenCircuits(b netmodel.Bucket) int {
+	n := 0
+	for _, st := range rp.breakers {
+		if st.open && b < st.openUntil {
+			n++
+		}
+	}
+	return n
+}
+
+// Counters delegates to the wrapped prober's per-purpose accounting.
+func (rp *RetryingProber) Counters() *Counters { return rp.base.Counters() }
+
+// retryHash derives the deterministic backoff jitter for one retry.
+func retryHash(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, attempt int) uint64 {
+	h := uint64(c)*0x9E3779B97F4A7C15 ^ uint64(p)*0xBF58476D1CE4E5B9 ^ uint64(b)*0x94D049BB133111EB ^ uint64(attempt)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// backoff returns the capped exponential delay before retry `attempt`
+// (1-based), jittered deterministically into [0.5d, 1.5d).
+func (rp *RetryingProber) backoff(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, attempt int) time.Duration {
+	d := rp.cfg.BackoffBase << (attempt - 1)
+	if d > rp.cfg.BackoffCap || d <= 0 {
+		d = rp.cfg.BackoffCap
+	}
+	u := float64(retryHash(c, p, b, attempt)>>11) / float64(1<<53)
+	return time.Duration((0.5 + u) * float64(d))
+}
+
+// Traceroute implements Prober: failures are absorbed into a hopless
+// result, which Compare treats as non-localizing.
+func (rp *RetryingProber) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute {
+	tr, _ := rp.TracerouteErr(context.Background(), c, p, b, purpose)
+	return tr
+}
+
+// TracerouteErr issues one traceroute with retries and breaker protection.
+// On success the error is nil; otherwise the (possibly hopless) last
+// result is returned with the final error — ErrCircuitOpen when the probe
+// never reached the underlying prober.
+func (rp *RetryingProber) TracerouteErr(ctx context.Context, c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) (Traceroute, error) {
+	if rp.eb == nil {
+		// Infallible base: transparent pass-through.
+		return rp.base.Traceroute(c, p, b, purpose), nil
+	}
+	st := rp.breakers[c]
+	if st == nil {
+		st = &breakerState{}
+		rp.breakers[c] = st
+	}
+	if st.open {
+		if b < st.openUntil {
+			rp.stats.BreakerShortCircuits++
+			rp.counter(&rp.mShortCircs, "probe.breaker.short_circuits").Inc()
+			return Traceroute{}, ErrCircuitOpen
+		}
+		// Cooldown over: let one trial through.
+		st.open = false
+		st.halfOpen = true
+	}
+
+	var tr Traceroute
+	var err error
+	for attempt := 0; attempt < rp.cfg.MaxAttempts; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if rp.cfg.PerAttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, rp.cfg.PerAttemptTimeout)
+		}
+		rp.stats.Attempts++
+		tr, err = rp.eb.TracerouteErr(actx, c, p, b, purpose)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			rp.stats.Succeeded++
+			st.consecutive = 0
+			st.halfOpen = false
+			return tr, nil
+		}
+		rp.stats.Failures++
+		rp.counter(&rp.mFailures, "probe.retry.failures").Inc()
+		if ctx.Err() != nil {
+			// The caller's context is gone; retrying cannot help.
+			break
+		}
+		if attempt < rp.cfg.MaxAttempts-1 {
+			rp.stats.Retries++
+			rp.counter(&rp.mRetries, "probe.retry.retries").Inc()
+			if rp.sleep != nil {
+				rp.sleep(rp.backoff(c, p, b, attempt+1))
+			}
+		}
+	}
+	rp.stats.Exhausted++
+	rp.counter(&rp.mExhausted, "probe.retry.exhausted").Inc()
+	if rp.cfg.BreakerThreshold > 0 {
+		if st.halfOpen {
+			// Failed trial: straight back to open.
+			st.halfOpen = false
+			st.open = true
+			st.openUntil = b + rp.cfg.BreakerCooldownBuckets
+			rp.stats.BreakerOpens++
+			rp.counter(&rp.mOpens, "probe.breaker.opens").Inc()
+		} else if st.consecutive++; st.consecutive >= rp.cfg.BreakerThreshold {
+			st.open = true
+			st.openUntil = b + rp.cfg.BreakerCooldownBuckets
+			st.consecutive = 0
+			rp.stats.BreakerOpens++
+			rp.counter(&rp.mOpens, "probe.breaker.opens").Inc()
+		}
+	}
+	return tr, err
+}

@@ -1,0 +1,259 @@
+package probe
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+)
+
+func hops(ms ...float64) []Hop {
+	out := make([]Hop, len(ms))
+	var cum float64
+	for i, m := range ms {
+		cum += m
+		seg := netmodel.SegMiddle
+		if i == 0 {
+			seg = netmodel.SegCloud
+		} else if i == len(ms)-1 {
+			seg = netmodel.SegClient
+		}
+		out[i] = Hop{AS: netmodel.ASN(100 + i), Segment: seg, CumulativeMS: cum}
+	}
+	return out
+}
+
+// TestCompareEmptyTraceroutes: a failed probe (zero hops) against any
+// baseline — including another empty one — must yield a defined,
+// non-localizing result, not an index panic.
+func TestCompareEmptyTraceroutes(t *testing.T) {
+	full := Traceroute{Cloud: 1, Prefix: 2, Bucket: 10, Hops: hops(5, 20, 8)}
+	empty := Traceroute{Cloud: 1, Prefix: 2, Bucket: 10}
+	for _, tc := range []struct {
+		name          string
+		now, baseline Traceroute
+	}{
+		{"empty vs full", empty, full},
+		{"full vs empty", full, empty},
+		{"empty vs empty", empty, empty},
+	} {
+		res := Compare(tc.now, tc.baseline) // must not panic
+		if res.OK {
+			t.Errorf("%s: Compare reported OK on unusable input", tc.name)
+		}
+		if res.AS != 0 || res.IncreaseMS != 0 {
+			t.Errorf("%s: non-zero localization %+v from unusable input", tc.name, res)
+		}
+	}
+}
+
+// TestCompareTruncatedTraceroute: a probe that died mid-path (fewer hops
+// than the baseline) must not be diffed hop-by-hop.
+func TestCompareTruncatedTraceroute(t *testing.T) {
+	baseline := Traceroute{Cloud: 1, Prefix: 2, Bucket: 0, Hops: hops(5, 20, 8)}
+	now := Traceroute{Cloud: 1, Prefix: 2, Bucket: 12, Hops: hops(5, 60)} // truncated
+	if res := Compare(now, baseline); res.OK {
+		t.Errorf("truncated traceroute compared OK: %+v", res)
+	}
+	// Sanity: the untruncated version localizes.
+	whole := Traceroute{Cloud: 1, Prefix: 2, Bucket: 12, Hops: hops(5, 60, 8)}
+	res := Compare(whole, baseline)
+	if !res.OK || res.AS != 101 || res.Segment != netmodel.SegMiddle {
+		t.Errorf("full comparison = %+v, want OK middle AS 101", res)
+	}
+}
+
+// flakyProber fails the next failNext attempts, then succeeds.
+type flakyProber struct {
+	counters Counters
+	failNext int
+	calls    int
+}
+
+func (f *flakyProber) Traceroute(c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) Traceroute {
+	tr, _ := f.TracerouteErr(context.Background(), c, p, b, purpose)
+	return tr
+}
+
+func (f *flakyProber) TracerouteErr(_ context.Context, c netmodel.CloudID, p netmodel.PrefixID, b netmodel.Bucket, purpose Purpose) (Traceroute, error) {
+	f.calls++
+	if f.failNext > 0 {
+		f.failNext--
+		return Traceroute{}, errors.New("flaky: injected failure")
+	}
+	f.counters.counts[purpose]++
+	return Traceroute{Cloud: c, Prefix: p, Bucket: b, Hops: hops(5, 20, 8)}, nil
+}
+
+func (f *flakyProber) Counters() *Counters { return &f.counters }
+
+func TestRetryingProberRecoversWithinBudget(t *testing.T) {
+	base := &flakyProber{failNext: 2}
+	rp := NewRetryingProber(base, RetryConfig{MaxAttempts: 3})
+	tr, err := rp.TracerouteErr(context.Background(), 1, 2, 10, OnDemand)
+	if err != nil || len(tr.Hops) == 0 {
+		t.Fatalf("probe failed despite retry budget: %v", err)
+	}
+	st := rp.Stats()
+	if st.Attempts != 3 || st.Failures != 2 || st.Retries != 2 || st.Succeeded != 1 || st.Exhausted != 0 {
+		t.Errorf("stats = %+v, want 3 attempts / 2 failures / 2 retries / 1 success", st)
+	}
+}
+
+func TestRetryingProberExhaustion(t *testing.T) {
+	base := &flakyProber{failNext: 10}
+	rp := NewRetryingProber(base, RetryConfig{MaxAttempts: 3, BreakerThreshold: -1})
+	tr, err := rp.TracerouteErr(context.Background(), 1, 2, 10, OnDemand)
+	if err == nil {
+		t.Fatal("exhausted probe returned nil error")
+	}
+	if len(tr.Hops) != 0 {
+		t.Errorf("exhausted probe returned hops: %+v", tr)
+	}
+	// The Prober-interface path absorbs the failure into a hopless result.
+	base.failNext = 10
+	if tr := rp.Traceroute(1, 2, 11, OnDemand); len(tr.Hops) != 0 {
+		t.Errorf("Traceroute() returned hops after exhaustion: %+v", tr)
+	}
+	st := rp.Stats()
+	if st.Exhausted != 2 || st.BreakerOpens != 0 {
+		t.Errorf("stats = %+v, want 2 exhausted and breaker disabled", st)
+	}
+}
+
+func TestRetryingProberCircuitBreaker(t *testing.T) {
+	base := &flakyProber{failNext: 1 << 30} // fail everything
+	rp := NewRetryingProber(base, RetryConfig{MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldownBuckets: 3})
+	ctx := context.Background()
+
+	// Two exhausted probes trip the breaker for cloud 1.
+	rp.TracerouteErr(ctx, 1, 2, 10, OnDemand)
+	rp.TracerouteErr(ctx, 1, 3, 10, OnDemand)
+	if got := rp.Stats().BreakerOpens; got != 1 {
+		t.Fatalf("BreakerOpens = %d after threshold, want 1", got)
+	}
+	if rp.OpenCircuits(10) != 1 {
+		t.Fatalf("OpenCircuits(10) = %d, want 1", rp.OpenCircuits(10))
+	}
+
+	// While open, probes are refused without touching the base prober.
+	calls := base.calls
+	_, err := rp.TracerouteErr(ctx, 1, 4, 11, OnDemand)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open circuit returned %v, want ErrCircuitOpen", err)
+	}
+	if base.calls != calls {
+		t.Error("short-circuited probe reached the base prober")
+	}
+	if got := rp.Stats().BreakerShortCircuits; got != 1 {
+		t.Errorf("BreakerShortCircuits = %d, want 1", got)
+	}
+	// Another cloud is unaffected.
+	if _, err := rp.TracerouteErr(ctx, 2, 4, 11, OnDemand); errors.Is(err, ErrCircuitOpen) {
+		t.Error("breaker leaked across clouds")
+	}
+
+	// After the cooldown a half-open trial goes through; it fails, so the
+	// circuit reopens immediately (one more open, not threshold-many).
+	calls = base.calls
+	_, err = rp.TracerouteErr(ctx, 1, 5, 13, OnDemand)
+	if errors.Is(err, ErrCircuitOpen) || base.calls == calls {
+		t.Fatal("half-open trial did not reach the base prober")
+	}
+	if got := rp.Stats().BreakerOpens; got != 2 {
+		t.Errorf("BreakerOpens = %d after failed trial, want 2", got)
+	}
+
+	// Next cooldown: the trial succeeds and the circuit closes for good.
+	base.failNext = 0
+	if _, err := rp.TracerouteErr(ctx, 1, 6, 16, OnDemand); err != nil {
+		t.Fatalf("recovered probe failed: %v", err)
+	}
+	if rp.OpenCircuits(16) != 0 {
+		t.Error("circuit still open after successful trial")
+	}
+	if _, err := rp.TracerouteErr(ctx, 1, 7, 16, OnDemand); err != nil {
+		t.Errorf("probe after recovery failed: %v", err)
+	}
+}
+
+func TestRetryingProberPassThrough(t *testing.T) {
+	// A base without ErrProber cannot fail; the wrapper must not alter
+	// results or stats.
+	base := &flakyProber{}
+	plain := struct{ Prober }{base} // strips the ErrProber method
+	rp := NewRetryingProber(plain, RetryConfig{})
+	tr := rp.Traceroute(1, 2, 10, Background)
+	if len(tr.Hops) == 0 {
+		t.Fatal("pass-through lost the traceroute")
+	}
+	if st := rp.Stats(); st.Attempts != 0 {
+		t.Errorf("pass-through recorded attempts: %+v", st)
+	}
+	if rp.Counters().Count(Background) != 1 {
+		t.Error("purpose accounting not delegated to base")
+	}
+}
+
+func TestRetryingProberLazyMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	base := &flakyProber{}
+	rp := NewRetryingProber(base, RetryConfig{MaxAttempts: 2, BreakerThreshold: -1})
+	rp.SetMetrics(reg)
+	rp.TracerouteErr(context.Background(), 1, 2, 10, OnDemand)
+	for _, nv := range reg.Snapshot().Counters {
+		if strings.HasPrefix(nv.Name, "probe.retry.") || strings.HasPrefix(nv.Name, "probe.breaker.") {
+			t.Fatalf("counter %s registered with no failures", nv.Name)
+		}
+	}
+	base.failNext = 1
+	rp.TracerouteErr(context.Background(), 1, 2, 11, OnDemand)
+	if v, ok := reg.Snapshot().Counter("probe.retry.failures"); !ok || v != 1 {
+		t.Errorf("probe.retry.failures = %d (ok=%v), want 1", v, ok)
+	}
+	if v, ok := reg.Snapshot().Counter("probe.retry.retries"); !ok || v != 1 {
+		t.Errorf("probe.retry.retries = %d (ok=%v), want 1", v, ok)
+	}
+}
+
+func TestRetryingProberBackoffDeterministicAndBounded(t *testing.T) {
+	rp := NewRetryingProber(&flakyProber{}, RetryConfig{
+		BackoffBase: 100 * time.Millisecond, BackoffCap: time.Second,
+	})
+	for attempt := 1; attempt <= 8; attempt++ {
+		d1 := rp.backoff(3, 7, 42, attempt)
+		d2 := rp.backoff(3, 7, 42, attempt)
+		if d1 != d2 {
+			t.Fatalf("backoff attempt %d not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		if d1 < 0 || d1 >= 1500*time.Millisecond {
+			t.Errorf("backoff attempt %d = %v outside [0, 1.5*cap)", attempt, d1)
+		}
+	}
+	// The sleeper is only invoked between attempts, never after the last.
+	slept := 0
+	rp2 := NewRetryingProber(&flakyProber{failNext: 1 << 30}, RetryConfig{MaxAttempts: 3, BreakerThreshold: -1})
+	rp2.SetSleep(func(time.Duration) { slept++ })
+	rp2.TracerouteErr(context.Background(), 1, 2, 10, OnDemand)
+	if slept != 2 {
+		t.Errorf("slept %d times for 3 attempts, want 2", slept)
+	}
+}
+
+func TestRetryingProberContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := &flakyProber{failNext: 1 << 30}
+	rp := NewRetryingProber(base, RetryConfig{MaxAttempts: 5, BreakerThreshold: -1})
+	_, err := rp.TracerouteErr(ctx, 1, 2, 10, OnDemand)
+	if err == nil {
+		t.Fatal("cancelled probe returned nil error")
+	}
+	if base.calls != 1 {
+		t.Errorf("retried %d times under a dead context, want 1 attempt", base.calls)
+	}
+}

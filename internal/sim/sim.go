@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -70,6 +71,30 @@ func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, NoiseSigma: 0.10, MixSigma: 0.07, SamplesPerClient: 4.0, DiurnalMaxMS: 18, DriftMS: 2}
 }
 
+// Validate rejects configurations with no meaningful interpretation:
+// negative or NaN magnitudes and a negative worker count. (Workers == 0 is
+// the documented all-cores sentinel, not a mistake, so it stays valid.)
+// New panics on an invalid config; callers assembling configs from
+// external input (flags) should Validate first and report the error.
+func (c Config) Validate() error {
+	bad := func(x float64) bool { return math.IsNaN(x) || x < 0 }
+	switch {
+	case bad(c.NoiseSigma):
+		return fmt.Errorf("sim: NoiseSigma %v must be >= 0", c.NoiseSigma)
+	case bad(c.MixSigma):
+		return fmt.Errorf("sim: MixSigma %v must be >= 0", c.MixSigma)
+	case bad(c.SamplesPerClient):
+		return fmt.Errorf("sim: SamplesPerClient %v must be >= 0", c.SamplesPerClient)
+	case bad(c.DiurnalMaxMS):
+		return fmt.Errorf("sim: DiurnalMaxMS %v must be >= 0", c.DiurnalMaxMS)
+	case bad(c.DriftMS):
+		return fmt.Errorf("sim: DriftMS %v must be >= 0", c.DriftMS)
+	case c.Workers < 0:
+		return fmt.Errorf("sim: Workers %d must be >= 0 (0 = all cores)", c.Workers)
+	}
+	return nil
+}
+
 // Observation aliases the shared passive-measurement record; the simulator
 // produces the same record shape the production collector emits.
 type Observation = trace.Observation
@@ -109,6 +134,9 @@ type Simulator struct {
 // New creates a simulator. The routing table and fault schedule may cover
 // any horizon; queries beyond the table's horizon use its last state.
 func New(w *topology.World, routes *bgp.Table, sched *faults.Schedule, cfg Config) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	s := &Simulator{
 		World:         w,
 		Routes:        routes,

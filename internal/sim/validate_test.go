@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/topology"
+)
+
+// TestConfigValidate exercises every rejection branch plus the documented
+// zero sentinels, which must stay valid.
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring; "" = valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"zero sentinels", func(c *Config) {
+			c.NoiseSigma, c.MixSigma, c.SamplesPerClient = 0, 0, 0
+			c.DiurnalMaxMS, c.DriftMS = 0, 0
+			c.Workers = 0
+		}, ""},
+		{"NaN noise", func(c *Config) { c.NoiseSigma = math.NaN() }, "NoiseSigma"},
+		{"negative noise", func(c *Config) { c.NoiseSigma = -1 }, "NoiseSigma"},
+		{"negative mix", func(c *Config) { c.MixSigma = -0.1 }, "MixSigma"},
+		{"NaN samples", func(c *Config) { c.SamplesPerClient = math.NaN() }, "SamplesPerClient"},
+		{"negative samples", func(c *Config) { c.SamplesPerClient = -2 }, "SamplesPerClient"},
+		{"negative diurnal", func(c *Config) { c.DiurnalMaxMS = -5 }, "DiurnalMaxMS"},
+		{"negative drift", func(c *Config) { c.DriftMS = -1 }, "DriftMS"},
+		{"negative workers", func(c *Config) { c.Workers = -1 }, "Workers"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(1)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted invalid config %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate() = %q, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfig: the constructor must refuse a bad config
+// and name the offending knob.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), netmodel.BucketsPerDay, 7)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted a config with negative NoiseSigma")
+		}
+		if !strings.Contains(fmt.Sprint(r), "NoiseSigma") {
+			t.Fatalf("panic %v does not name the offending knob", r)
+		}
+	}()
+	cfg := DefaultConfig(1)
+	cfg.NoiseSigma = -3
+	New(w, tbl, faults.NewSchedule(nil), cfg)
+}
