@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay cover verify
+.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay bench-json cover verify
 
 all: verify
 
@@ -48,6 +48,13 @@ bench-parallel:
 # scan path vs. streaming JSONL trace replay, half a day of records each.
 bench-replay:
 	$(GO) test -run NONE -bench 'BenchmarkIngest(LiveSim|StoreBacked|StreamReplay)$$' -benchtime 3x .
+
+# Perf-trajectory snapshot: run the blameit-bench harness and write the
+# schema-stable BENCH_<date>.json document (ingest throughput per source,
+# classification rate, Algorithm 1 wall time, per-record allocation
+# accounting; see DESIGN.md §11). CI uploads the file as an artifact.
+bench-json:
+	$(GO) run ./cmd/blameit-bench -o BENCH_$$(date -u +%Y-%m-%d).json
 
 # Coverage over every package (-short skips the multi-minute integration
 # runs), printing the module total; leaves cover.out behind for

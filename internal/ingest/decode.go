@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"bytes"
+	"strconv"
+	"unsafe"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// The canonical record shape is what trace.WriteJSONL (a json.Encoder over
+// trace.Observation) emits: the struct's fields in declaration order, no
+// inter-token whitespace, plain decimal numbers. Every trace writer in this
+// repo produces it, so the replay hot path decodes it with a hand-rolled
+// scanner that allocates nothing. Anything else — reordered or unknown
+// fields, quoted numbers, embedded whitespace — falls back to
+// encoding/json, so the set of accepted inputs is unchanged; the fast path
+// only changes how quickly the common case is parsed.
+var (
+	keyPrefix  = []byte(`{"prefix":`)
+	keyCloud   = []byte(`,"cloud":`)
+	keyDevice  = []byte(`,"device":`)
+	keyBucket  = []byte(`,"bucket":`)
+	keySamples = []byte(`,"samples":`)
+	keyMeanRTT = []byte(`,"mean_rtt_ms":`)
+	keyClients = []byte(`,"clients":`)
+)
+
+// eat consumes an exact literal prefix.
+func eat(b, lit []byte) ([]byte, bool) {
+	if !bytes.HasPrefix(b, lit) {
+		return b, false
+	}
+	return b[len(lit):], true
+}
+
+// parseInt consumes a JSON integer (optional minus, decimal digits).
+// Overflow returns ok=false and lets encoding/json produce the error.
+func parseInt(b []byte) (int64, []byte, bool) {
+	neg := false
+	if len(b) > 0 && b[0] == '-' {
+		neg = true
+		b = b[1:]
+	}
+	if len(b) == 0 || b[0] < '0' || b[0] > '9' {
+		return 0, b, false
+	}
+	var v int64
+	i := 0
+	for ; i < len(b) && b[i] >= '0' && b[i] <= '9'; i++ {
+		d := int64(b[i] - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, b, false
+		}
+		v = v*10 + d
+	}
+	// A fraction or exponent means the field is not a plain integer.
+	if i < len(b) && (b[i] == '.' || b[i] == 'e' || b[i] == 'E') {
+		return 0, b, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, b[i:], true
+}
+
+// parseFloat consumes a JSON number. The digits are handed to
+// strconv.ParseFloat through an unsafe no-copy string — ParseFloat neither
+// mutates nor retains its argument — so the conversion is exactly
+// encoding/json's (correctly rounded, round-trip safe) without the
+// per-field allocation.
+func parseFloat(b []byte) (float64, []byte, bool) {
+	i := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return 0, b, false
+	}
+	seg := b[:i]
+	v, err := strconv.ParseFloat(unsafe.String(unsafe.SliceData(seg), len(seg)), 64)
+	if err != nil {
+		return 0, b, false
+	}
+	return v, b[i:], true
+}
+
+// decodeCanonical parses one line of the canonical WriteJSONL shape into o,
+// reporting whether it matched. On ok=false o is untouched and the caller
+// must re-decode the line with encoding/json.
+func decodeCanonical(line []byte, o *trace.Observation) bool {
+	b, ok := eat(line, keyPrefix)
+	if !ok {
+		return false
+	}
+	var prefix, cloud, device, bucket, samples, clients int64
+	var mean float64
+	if prefix, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keyCloud); !ok {
+		return false
+	}
+	if cloud, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keyDevice); !ok {
+		return false
+	}
+	if device, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keyBucket); !ok {
+		return false
+	}
+	if bucket, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keySamples); !ok {
+		return false
+	}
+	if samples, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keyMeanRTT); !ok {
+		return false
+	}
+	if mean, b, ok = parseFloat(b); !ok {
+		return false
+	}
+	if b, ok = eat(b, keyClients); !ok {
+		return false
+	}
+	if clients, b, ok = parseInt(b); !ok {
+		return false
+	}
+	if len(b) == 0 || b[0] != '}' || !isBlank(b[1:]) {
+		return false
+	}
+	*o = trace.Observation{
+		Prefix:  netmodel.PrefixID(prefix),
+		Cloud:   netmodel.CloudID(cloud),
+		Device:  netmodel.DeviceClass(device),
+		Bucket:  netmodel.Bucket(bucket),
+		Samples: int(samples),
+		MeanRTT: mean,
+		Clients: int(clients),
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// TestDecodeCanonicalRoundTrip feeds randomized observations through
+// trace.WriteJSONL and checks the fast-path scanner reproduces exactly what
+// encoding/json decodes — including floats that need all 17 significant
+// digits, the round-trip case replay byte-equivalence depends on.
+func TestDecodeCanonicalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	obs := make([]trace.Observation, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		obs = append(obs, trace.Observation{
+			Prefix:  netmodel.PrefixID(r.Intn(1 << 20)),
+			Cloud:   netmodel.CloudID(r.Intn(64)),
+			Device:  netmodel.DeviceClass(r.Intn(3)),
+			Bucket:  netmodel.Bucket(r.Intn(1 << 16)),
+			Samples: r.Intn(500),
+			MeanRTT: math.Float64frombits(r.Uint64()>>12 | 0x3FF0000000000000), // [1,2) with full mantissa entropy
+			Clients: r.Intn(1000),
+		})
+	}
+	// A few structured extremes.
+	obs = append(obs,
+		trace.Observation{MeanRTT: 0},
+		trace.Observation{MeanRTT: 1e-308},
+		trace.Observation{MeanRTT: 5e-05},
+		trace.Observation{MeanRTT: 1e+20},
+		trace.Observation{Prefix: netmodel.PrefixID(math.MaxInt64), MeanRTT: 55.123456789012345},
+	)
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(buf.Bytes(), []byte("\n"))
+	n := 0
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var want trace.Observation
+		if err := json.Unmarshal(line, &want); err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		var got trace.Observation
+		if !decodeCanonical(line, &got) {
+			t.Fatalf("record %d: canonical line rejected by fast path: %s", n, line)
+		}
+		if got != want {
+			t.Fatalf("record %d: fast path %+v != encoding/json %+v", n, got, want)
+		}
+		n++
+	}
+	if n != len(obs) {
+		t.Fatalf("checked %d records, want %d", n, len(obs))
+	}
+}
+
+// TestDecodeCanonicalFallsBack pins the fast path's refusal set: every
+// valid-JSON deviation from the canonical shape must be declined (and left
+// to encoding/json) rather than misparsed, and o must stay untouched.
+func TestDecodeCanonicalFallsBack(t *testing.T) {
+	reject := []string{
+		`{"cloud":1,"prefix":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // reordered
+		`{ "prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // whitespace
+		`{"prefix":"1","cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // quoted number
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7,"x":1}`, // extra field
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5}`,                   // missing field
+		`{"prefix":1.5,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,     // fractional int
+		`{"prefix":99999999999999999999,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // overflow
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7} trailing`,
+		`[1,2,3]`,
+		`not json`,
+	}
+	for _, line := range reject {
+		o := trace.Observation{Prefix: 42}
+		if decodeCanonical([]byte(line), &o) {
+			t.Errorf("fast path accepted non-canonical line: %s", line)
+		}
+		if o.Prefix != 42 {
+			t.Errorf("fast path mutated o on rejection of: %s", line)
+		}
+	}
+	// The accept set: exponent floats and negative numbers are canonical
+	// when json.Marshal chooses those forms.
+	accept := map[string]trace.Observation{
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5e-05,"clients":7}`: {
+			Prefix: 1, Cloud: 2, Bucket: 3, Samples: 30, MeanRTT: 5e-05, Clients: 7},
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":1e+20,"clients":7}` + "\n": {
+			Prefix: 1, Cloud: 2, Bucket: 3, Samples: 30, MeanRTT: 1e20, Clients: 7},
+		`{"prefix":-1,"cloud":2,"device":0,"bucket":3,"samples":-5,"mean_rtt_ms":-2.5,"clients":0}`: {
+			Prefix: -1, Cloud: 2, Bucket: 3, Samples: -5, MeanRTT: -2.5, Clients: 0},
+	}
+	for line, want := range accept {
+		var got trace.Observation
+		if !decodeCanonical([]byte(line), &got) {
+			t.Errorf("fast path rejected canonical line: %s", line)
+			continue
+		}
+		if got != want {
+			t.Errorf("line %s: got %+v, want %+v", line, got, want)
+		}
+	}
+}
+
+// TestStreamSourceLongLineFallback exercises the ReadSlice buffer-full
+// path: a record padded far beyond the 1MB read buffer still decodes (via
+// the owned-scratch reassembly plus encoding/json, which tolerates the
+// whitespace padding).
+func TestStreamSourceLongLineFallback(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"prefix":1,"cloud":0,"device":0,"bucket":0,"samples":30,"mean_rtt_ms":44,"clients":5}`)
+	buf.WriteString("\n")
+	// 2MB of spaces inside the second record keeps it valid JSON but forces
+	// multiple ReadSlice rounds.
+	buf.WriteString(`{"prefix":2,"cloud":0,"device":0,"bucket":1,`)
+	buf.Write(bytes.Repeat([]byte(" "), 2<<20))
+	buf.WriteString(`"samples":30,"mean_rtt_ms":45,"clients":6}`)
+	buf.WriteString("\n")
+	src := NewStreamSource(&buf)
+	got, err := src.ObservationsAt(context.Background(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Prefix != 1 {
+		t.Fatalf("bucket 0: %+v", got)
+	}
+	got, err = src.ObservationsAt(context.Background(), 1, got[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Prefix != 2 || got[0].MeanRTT != 45 {
+		t.Fatalf("bucket 1 (long line): %+v", got)
+	}
+}

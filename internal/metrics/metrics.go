@@ -96,6 +96,13 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// nonfinite counts NaN/±Inf observations. They are kept out of the
+	// buckets and the sum: NaN compares false against every bound (it would
+	// land in the overflow bucket by accident, not by meaning) and a single
+	// NaN or Inf added to sum is permanent — one poisoned observation would
+	// make every later snapshot unmarshalable (encoding/json rejects
+	// non-finite numbers) long after the bad value was observed.
+	nonfinite atomic.Int64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -104,9 +111,14 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one value. No-op on a nil receiver.
+// Observe records one value. Non-finite values are diverted to the
+// NonFinite counter. No-op on a nil receiver.
 func (h *Histogram) Observe(x float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.nonfinite.Add(1)
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x: bucket "le bound"
@@ -135,6 +147,15 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// NonFinite returns how many NaN/±Inf observations were rejected (0 on a
+// nil receiver).
+func (h *Histogram) NonFinite() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.nonfinite.Load()
 }
 
 // Registry is a named collection of metrics. All methods are safe for
@@ -221,6 +242,9 @@ type HistogramValue struct {
 	Sum    float64
 	Bounds []float64
 	Counts []int64
+	// NonFinite is the number of NaN/±Inf observations rejected from the
+	// buckets and sum.
+	NonFinite int64
 }
 
 // Snapshot is a point-in-time reading of a registry, each section sorted by
@@ -249,11 +273,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.histograms {
 		hv := HistogramValue{
-			Name:   name,
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
+			Name:      name,
+			Count:     h.Count(),
+			Sum:       h.Sum(),
+			Bounds:    append([]float64(nil), h.bounds...),
+			Counts:    make([]int64, len(h.counts)),
+			NonFinite: h.NonFinite(),
 		}
 		for i := range h.counts {
 			hv.Counts[i] = h.counts[i].Load()
@@ -315,15 +340,17 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 	for _, v := range s.Histograms {
 		hv := HistogramValue{
-			Name:   v.Name,
-			Count:  v.Count,
-			Sum:    v.Sum,
-			Bounds: append([]float64(nil), v.Bounds...),
-			Counts: append([]int64(nil), v.Counts...),
+			Name:      v.Name,
+			Count:     v.Count,
+			Sum:       v.Sum,
+			Bounds:    append([]float64(nil), v.Bounds...),
+			Counts:    append([]int64(nil), v.Counts...),
+			NonFinite: v.NonFinite,
 		}
 		if p, ok := prevH[v.Name]; ok && len(p.Counts) == len(hv.Counts) {
 			hv.Count -= p.Count
 			hv.Sum -= p.Sum
+			hv.NonFinite -= p.NonFinite
 			for i := range hv.Counts {
 				hv.Counts[i] -= p.Counts[i]
 			}
@@ -351,6 +378,15 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		if v.Count > 0 {
 			mean = v.Sum / float64(v.Count)
 		}
+		// nonfinite is appended only when observations were rejected, so
+		// clean-run text output is byte-identical to before the counter
+		// existed (golden reports compare this rendering).
+		if v.NonFinite > 0 {
+			if _, err := fmt.Fprintf(w, "histogram %-44s count=%d sum=%.3f mean=%.3f nonfinite=%d\n", v.Name, v.Count, v.Sum, mean, v.NonFinite); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "histogram %-44s count=%d sum=%.3f mean=%.3f\n", v.Name, v.Count, v.Sum, mean); err != nil {
 			return err
 		}
@@ -358,12 +394,15 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	return nil
 }
 
-// jsonHistogram is the JSON shape of one histogram.
+// jsonHistogram is the JSON shape of one histogram. NonFinite is omitted
+// when zero so clean-run snapshots are byte-identical to the pre-counter
+// encoding.
 type jsonHistogram struct {
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"`
+	Count     int64     `json:"count"`
+	Sum       float64   `json:"sum"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []int64   `json:"counts"`
+	NonFinite int64     `json:"nonfinite,omitempty"`
 }
 
 // MarshalJSON renders the snapshot as a JSON object with "counters",
@@ -381,7 +420,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	}
 	hists := make(map[string]jsonHistogram, len(s.Histograms))
 	for _, v := range s.Histograms {
-		hists[v.Name] = jsonHistogram{Count: v.Count, Sum: v.Sum, Bounds: v.Bounds, Counts: v.Counts}
+		hists[v.Name] = jsonHistogram{Count: v.Count, Sum: v.Sum, Bounds: v.Bounds, Counts: v.Counts, NonFinite: v.NonFinite}
 	}
 	return json.Marshal(struct {
 		Counters   map[string]int64         `json:"counters"`

@@ -209,3 +209,43 @@ func TestDefaultRegistry(t *testing.T) {
 		t.Fatal("EnableDefault must install one stable registry")
 	}
 }
+
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewRegistry().Histogram("ms", []float64{1, 10})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 1 || h.Sum() != 5 {
+		t.Fatalf("count=%d sum=%v, want 1/5 (non-finite must not touch buckets or sum)", h.Count(), h.Sum())
+	}
+	if h.NonFinite() != 3 {
+		t.Fatalf("NonFinite = %d, want 3", h.NonFinite())
+	}
+	var nilH *Histogram
+	nilH.Observe(math.NaN()) // nil-safety holds on the reject path too
+	if nilH.NonFinite() != 0 {
+		t.Fatal("nil histogram NonFinite must be 0")
+	}
+}
+
+func TestSnapshotJSONSurvivesNaN(t *testing.T) {
+	// A single NaN observation used to poison the CAS-accumulated sum
+	// forever, making every later snapshot unmarshalable (encoding/json
+	// rejects non-finite numbers). The nonfinite counter keeps the sum
+	// finite, and clean histograms omit the field so their encoding is
+	// byte-identical to the pre-counter shape.
+	r := NewRegistry()
+	r.Histogram("dirty", []float64{1}).Observe(math.NaN())
+	r.Histogram("clean", []float64{1}).Observe(0.5)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot with NaN observation must still marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"nonfinite":1`) {
+		t.Errorf("dirty histogram missing nonfinite field: %s", b)
+	}
+	if strings.Contains(string(b), `"clean":{"count":1,"sum":0.5,"bounds":[1],"counts":[1,0],"nonfinite"`) {
+		t.Errorf("clean histogram must omit nonfinite: %s", b)
+	}
+}

@@ -130,6 +130,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// windowRun is one stepped bucket's classified quartets. Step appends
+// buckets in increasing order (the trackers enforce monotonicity), so a
+// window's runs are always sorted by bucket.
+type windowRun struct {
+	b  netmodel.Bucket
+	qs []quartet.Quartet
+}
+
 // Report is the output of one Algorithm 1 job run.
 type Report struct {
 	// From and To delimit the window's buckets: [From, To].
@@ -298,11 +306,16 @@ type Pipeline struct {
 	// recomputes the trailing 14-day medians continuously).
 	lastRelearnDay int
 
-	// window accumulates classified quartets between job runs; windowFrom
-	// is the first bucket actually stepped into the current window (the
-	// job's Report.From is clamped to it, so a run starting on a bucket
-	// unaligned with RunEvery never reports buckets it did not step).
-	window       []quartet.Quartet
+	// window accumulates classified quartets between job runs, one run per
+	// stepped bucket. The quarantine guarantees every record kept at Step(b)
+	// carries Obs.Bucket == b, so grouping happens incrementally at append
+	// time — the job consumes the runs directly instead of rescanning the
+	// whole window into a per-bucket map on every run. Runs (and their qs
+	// backing arrays) are recycled across jobs. windowFrom is the first
+	// bucket actually stepped into the current window (the job's Report.From
+	// is clamped to it, so a run starting on a bucket unaligned with
+	// RunEvery never reports buckets it did not step).
+	window       []windowRun
 	windowFrom   netmodel.Bucket
 	windowPrimed bool
 	obsBuf       []trace.Observation
@@ -528,10 +541,11 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 	p.mStageCollect.Observe(msSince(collectStart, classifyStart))
 	p.mObsCollected.Add(int64(len(p.obsBuf)))
 	feedLearner := int(b)%p.Cfg.WarmupSampleEvery == 0
+	run := p.windowRunFor(b)
 	var badKeys []quartet.Key
 	for _, o := range p.obsBuf {
 		q := quartet.Classify(o, p.World.TargetFor(o.Prefix, o.Cloud))
-		p.window = append(p.window, q)
+		run.qs = append(run.qs, q)
 		if q.Enough && q.Bad {
 			badKeys = append(badKeys, quartet.KeyOf(o))
 		}
@@ -563,6 +577,26 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 		return nil, nil
 	}
 	return p.runJob(ctx, b)
+}
+
+// windowRunFor returns the window run accumulating bucket b's quartets,
+// extending the window with a recycled (or fresh) run when b is new. The
+// pointer stays valid until the window next grows, which cannot happen
+// before the caller finishes the bucket.
+func (p *Pipeline) windowRunFor(b netmodel.Bucket) *windowRun {
+	if n := len(p.window); n > 0 && p.window[n-1].b == b {
+		return &p.window[n-1]
+	}
+	if n := len(p.window); n < cap(p.window) {
+		// Recycle the parked run's qs backing array.
+		p.window = p.window[:n+1]
+		r := &p.window[n]
+		r.b = b
+		r.qs = r.qs[:0]
+		return r
+	}
+	p.window = append(p.window, windowRun{b: b})
+	return &p.window[len(p.window)-1]
 }
 
 // msSince returns the wall time between two instants in milliseconds.
@@ -660,35 +694,37 @@ func (p *Pipeline) runJob(ctx context.Context, b netmodel.Bucket) (*Report, erro
 		// buckets were skipped): report only the buckets actually stepped.
 		from = p.windowFrom
 	}
-	p.mWindowQs.Observe(float64(len(p.window)))
+	total := 0
+	for i := range p.window {
+		total += len(p.window[i].qs)
+	}
+	p.mWindowQs.Observe(float64(total))
 	rep := &Report{From: from, To: b}
 	// Localize each bucket of the window separately so aggregates stay
-	// time-consistent.
-	byBucket := make(map[netmodel.Bucket][]quartet.Quartet)
-	for _, q := range p.window {
-		byBucket[q.Obs.Bucket] = append(byBucket[q.Obs.Bucket], q)
-	}
+	// time-consistent. Step already grouped the window into per-bucket runs
+	// (in increasing bucket order), so the job consumes them directly — the
+	// old per-job rescan of every quartet into a fresh map is gone.
+	//
 	// The per-bucket Localize calls share only read-only state (localizer
 	// config, thresholds, BGP table), so the window's buckets run
-	// concurrently; per-bucket result slots are merged in bucket order to
-	// keep reports deterministic.
+	// concurrently; per-run result slots are merged in bucket order to keep
+	// reports deterministic.
 	nb := int(rep.To-rep.From) + 1
 	p.mWindowBuckets.Observe(float64(nb))
 	localizeStart := time.Now()
-	perBucket := make([][]core.Result, nb)
-	err := parallel.ForEachCtx(ctx, nb, parallel.Resolve(p.Cfg.Workers), func(i int) {
-		qs := byBucket[rep.From+netmodel.Bucket(i)]
-		if len(qs) == 0 {
-			return
+	perRun := make([][]core.Result, len(p.window))
+	err := parallel.ForEachCtx(ctx, len(p.window), parallel.Resolve(p.Cfg.Workers), func(i int) {
+		if qs := p.window[i].qs; len(qs) > 0 {
+			perRun[i] = p.Passive.Localize(qs)
 		}
-		perBucket[i] = p.Passive.Localize(qs)
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, rs := range perBucket {
+	for _, rs := range perRun {
 		rep.Results = append(rep.Results, rs...)
 	}
+	// Park the runs (keeping their backing arrays) for the next window.
 	p.window = p.window[:0]
 	p.windowPrimed = false
 	activeStart := time.Now()

@@ -79,22 +79,34 @@ type Summary struct {
 	P10, P50, P90, P99 float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs without modifying it (the input is
+// copied and sorted). Hot paths that own their sample should use
+// SummarizeInPlace and skip the copy; unbounded streams should use
+// StreamingSummary and skip retaining samples entirely.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	return SummarizeInPlace(s)
+}
+
+// SummarizeInPlace computes a Summary of xs, sorting xs in place instead of
+// copying it. The result is identical to Summarize.
+func SummarizeInPlace(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
 	return Summary{
-		N:    len(s),
-		Mean: Mean(s),
-		Min:  s[0],
-		Max:  s[len(s)-1],
-		P10:  sortedQuantile(s, 0.10),
-		P50:  sortedQuantile(s, 0.50),
-		P90:  sortedQuantile(s, 0.90),
-		P99:  sortedQuantile(s, 0.99),
+		N:    len(xs),
+		Mean: Mean(xs),
+		Min:  xs[0],
+		Max:  xs[len(xs)-1],
+		P10:  sortedQuantile(xs, 0.10),
+		P50:  sortedQuantile(xs, 0.50),
+		P90:  sortedQuantile(xs, 0.90),
+		P99:  sortedQuantile(xs, 0.99),
 	}
 }
 
@@ -114,6 +126,15 @@ func NewCDF(xs []float64) CDF {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return CDF{sorted: s}
+}
+
+// NewCDFInPlace builds an empirical CDF over xs itself, sorting it in place
+// and taking ownership — the caller must not mutate xs afterwards. This is
+// the no-copy form for hot paths that build a disposable sample slice just
+// to wrap it in a CDF.
+func NewCDFInPlace(xs []float64) CDF {
+	sort.Float64s(xs)
+	return CDF{sorted: xs}
 }
 
 // N returns the sample size underlying the CDF.
@@ -201,12 +222,17 @@ func KSSameDistribution(a, b []float64, alpha float64) bool {
 	return d <= crit
 }
 
-// Histogram counts values into fixed-width bins over [min, max); values
-// outside the range are clamped into the edge bins.
+// Histogram counts values into fixed-width bins over [min, max); finite
+// values outside the range are clamped into the edge bins. NaN and ±Inf
+// cannot be binned — int(NaN) is platform-defined, so before the NonFinite
+// counter existed a NaN silently landed in an arbitrary clamped bin — and
+// are counted separately instead.
 type Histogram struct {
 	Min, Max float64
 	Counts   []int
-	total    int
+	// NonFinite counts NaN and ±Inf observations, which no bin receives.
+	NonFinite int
+	total     int
 }
 
 // NewHistogram creates a histogram with n bins spanning [min, max). It
@@ -218,20 +244,35 @@ func NewHistogram(min, max float64, n int) *Histogram {
 	return &Histogram{Min: min, Max: max, Counts: make([]int, n)}
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite values are diverted to the
+// NonFinite counter: they carry no position on the axis, and converting
+// them to a bin index is platform-defined.
 func (h *Histogram) Add(x float64) {
-	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
-	if i < 0 {
-		i = 0
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.NonFinite++
+		return
 	}
-	if i >= len(h.Counts) {
+	// Clamp in float space before the int conversion: converting a float
+	// beyond int range is platform-defined (amd64 yields math.MinInt64, so a
+	// huge positive value would land in the FIRST bin via the negative
+	// clamp).
+	f := (x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts))
+	i := 0
+	switch {
+	case f >= float64(len(h.Counts)):
 		i = len(h.Counts) - 1
+	case f > 0:
+		i = int(f)
+		if i >= len(h.Counts) { // f just below len rounds up in conversion
+			i = len(h.Counts) - 1
+		}
 	}
 	h.Counts[i]++
 	h.total++
 }
 
-// Total returns the number of observations recorded.
+// Total returns the number of binned observations; NonFinite rejects are
+// not included (Fraction denominators stay consistent with the bins).
 func (h *Histogram) Total() int { return h.total }
 
 // Fraction returns the share of observations in bin i.
@@ -275,17 +316,36 @@ func (w *Welford) Variance() float64 {
 // Stddev returns the running sample standard deviation.
 func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 
-// BoundedPareto draws from a bounded Pareto distribution with shape alpha on
-// [lo, hi]. The paper's badness durations are long-tailed (§2.3); this is
-// the generator behind them.
+// BoundedPareto draws from a bounded Pareto distribution with shape alpha
+// (> 0) on [lo, hi]. The paper's badness durations are long-tailed (§2.3);
+// this is the generator behind them. Samples are guaranteed to stay inside
+// [lo, hi]; see boundedParetoInv.
 func BoundedPareto(r *rand.Rand, alpha, lo, hi float64) float64 {
 	if lo >= hi {
 		return lo
 	}
-	u := r.Float64()
+	return boundedParetoInv(r.Float64(), alpha, lo, hi)
+}
+
+// boundedParetoInv is the inverse CDF of the bounded Pareto: the standard
+// form x = (-(u·hi^α − u·lo^α − hi^α) / (hi^α·lo^α))^(−1/α), whose
+// endpoints are algebraically exact (u=0 → lo, u=1 → hi) but escape
+// numerically: when lo^α ≪ hi^α the numerator cancels to 0 for u near 1
+// and Pow(0, −1/α) returns +Inf, and for hi^α beyond float range the
+// Inf−Inf cancellation yields NaN. Those escapes are recomputed through
+// the cancellation-free equivalent x = lo·(1 − u·(1 − (lo/hi)^α))^(−1/α)
+// ((lo/hi)^α ∈ (0,1) never overflows) and the result clamped, so in-range
+// draws keep their historical bit patterns (seeded schedules replay
+// unchanged) while every sample lands in [lo, hi].
+func boundedParetoInv(u, alpha, lo, hi float64) float64 {
 	la := math.Pow(lo, alpha)
 	ha := math.Pow(hi, alpha)
-	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x >= lo && x <= hi {
+		return x
+	}
+	x = lo * math.Pow(1-u*(1-math.Pow(lo/hi, alpha)), -1/alpha)
+	return Clamp(x, lo, hi)
 }
 
 // LogNormal draws from a log-normal distribution parameterized by the

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blameit/internal/netmodel"
+)
+
+// TestWriteScatterLargePrefixID is the regression test for the scatter-index
+// overflow: uint64(Prefix)*2654435761 exceeds MaxInt64 for adversarially
+// large PrefixIDs, and the old int-then-modulo order produced a negative
+// storage-bucket index and panicked on the slice access. The modulo now runs
+// in uint64 before the conversion.
+func TestWriteScatterLargePrefixID(t *testing.T) {
+	s := NewStore(8)
+	huge := []netmodel.PrefixID{
+		netmodel.PrefixID(math.MaxInt64 / 2654435761 * 2), // hash > MaxInt64
+		netmodel.PrefixID(math.MaxInt64),                  // worst case
+		1 << 40,
+	}
+	for i, p := range huge {
+		s.Write([]Observation{{Prefix: p, Cloud: netmodel.CloudID(i), Bucket: 3, Samples: 10, MeanRTT: 50}})
+	}
+	got := s.ReadWindow(3, 4)
+	if len(got) != len(huge) {
+		t.Fatalf("read back %d records, want %d", len(got), len(huge))
+	}
+	for i, o := range got {
+		if o.Prefix != huge[i] {
+			t.Errorf("record %d: prefix %d, want %d (arrival order broken)", i, o.Prefix, huge[i])
+		}
+	}
+}
+
+// TestWriteScatterUnchangedForExistingTraces pins the scatter of small
+// (realistic) IDs: the overflow fix must not move any record of an existing
+// golden trace to a different storage bucket. The expected indices are the
+// values of the original formula, which agrees with the uint64 modulo for
+// every hash below MaxInt64.
+func TestWriteScatterUnchangedForExistingTraces(t *testing.T) {
+	cases := []struct {
+		prefix netmodel.PrefixID
+		cloud  netmodel.CloudID
+		bucket netmodel.Bucket
+		want   int
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, int(uint64(2654435761) % 8)},
+		{7, 3, 100, int((uint64(7)*2654435761 + 3*40503 + 100) % 8)},
+		{1000, 12, 8063, int((uint64(1000)*2654435761 + 12*40503 + 8063) % 8)},
+	}
+	for _, c := range cases {
+		s := NewStore(8)
+		s.Write([]Observation{{Prefix: c.prefix, Cloud: c.cloud, Bucket: c.bucket, Samples: 10}})
+		h := s.windowOf(c.bucket)
+		hb := s.windows[h]
+		got := -1
+		for i := range hb {
+			if len(hb[i].obs) > 0 {
+				got = i
+			}
+		}
+		if got != c.want {
+			t.Errorf("prefix=%d cloud=%d bucket=%d landed in storage bucket %d, want %d",
+				c.prefix, c.cloud, c.bucket, got, c.want)
+		}
+	}
+}
+
+// TestReadMergeMatchesArrivalOrder drives the presorted-run merge with a
+// randomized workload spanning several ingestion windows and interleaved
+// bucket order, checking every windowed read returns exactly the written
+// records in arrival order.
+func TestReadMergeMatchesArrivalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewStoreWindow(8, netmodel.BucketsPerHour)
+	horizon := netmodel.Bucket(3 * netmodel.BucketsPerHour)
+	var written []Observation
+	for i := 0; i < 5000; i++ {
+		o := Observation{
+			Prefix:  netmodel.PrefixID(r.Intn(200)),
+			Cloud:   netmodel.CloudID(r.Intn(6)),
+			Device:  netmodel.DeviceClass(r.Intn(2)),
+			Bucket:  netmodel.Bucket(r.Intn(int(horizon))),
+			Samples: 10 + r.Intn(50),
+			MeanRTT: 20 + 100*r.Float64(),
+		}
+		written = append(written, o)
+		s.Write([]Observation{o})
+	}
+	// Sweep several read windows, including sub-window and cross-window
+	// spans, against a brute-force filter of the arrival-ordered log.
+	spans := [][2]netmodel.Bucket{
+		{0, horizon}, {0, 1}, {5, 8}, {11, 13},
+		{netmodel.BucketsPerHour - 1, netmodel.BucketsPerHour + 2},
+		{0, netmodel.BucketsPerHour}, {netmodel.BucketsPerHour, 2 * netmodel.BucketsPerHour},
+	}
+	for _, sp := range spans {
+		from, to := sp[0], sp[1]
+		var want []Observation
+		for _, o := range written {
+			if o.Bucket >= from && o.Bucket < to {
+				want = append(want, o)
+			}
+		}
+		got := s.ReadWindow(from, to)
+		if len(got) != len(want) {
+			t.Fatalf("[%d,%d): %d records, want %d", from, to, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d): record %d = %+v, want %+v (arrival order broken)", from, to, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReadStraddlesEvictionHorizon reads a window that spans both evicted
+// and resident ingestion windows: the evicted part contributes nothing, the
+// resident part reads normally, and nothing panics.
+func TestReadStraddlesEvictionHorizon(t *testing.T) {
+	s := NewStore(4)
+	s.SetRetention(2)
+	obsAt := func(b netmodel.Bucket) Observation {
+		return Observation{Prefix: netmodel.PrefixID(b), Bucket: b, Samples: 10, MeanRTT: 40}
+	}
+	// Fill windows 0..5 and advance the frontier to window 5, evicting 0..3.
+	last := netmodel.Bucket(6*netmodel.BucketsPerHour - 1)
+	for b := netmodel.Bucket(0); b <= last; b++ {
+		s.Write([]Observation{obsAt(b)})
+	}
+	_ = s.ReadWindow(last, last+1)
+	if got := s.NumWindows(); got != 2 {
+		t.Fatalf("resident windows = %d, want 2", got)
+	}
+	// A historical read straddling the horizon: buckets in evicted windows
+	// are gone, buckets in resident windows still read in arrival order.
+	from := netmodel.Bucket(3*netmodel.BucketsPerHour - 2) // window 2 (evicted)
+	to := netmodel.Bucket(4*netmodel.BucketsPerHour + 2)   // window 4 (resident)
+	got := s.ReadWindow(from, to)
+	want := 0
+	for b := netmodel.Bucket(4 * netmodel.BucketsPerHour); b < to; b++ {
+		want++
+	}
+	if len(got) != want {
+		t.Fatalf("straddling read returned %d records, want %d (only the resident window)", len(got), want)
+	}
+	for i, o := range got {
+		if wb := netmodel.Bucket(4*netmodel.BucketsPerHour) + netmodel.Bucket(i); o.Bucket != wb {
+			t.Errorf("record %d: bucket %d, want %d", i, o.Bucket, wb)
+		}
+	}
+}
+
+// TestWriteBehindFrontierDropped pins the write-vs-frontier race: stragglers
+// for windows the reader has already evicted are dropped, not resurrected
+// into half-empty windows.
+func TestWriteBehindFrontierDropped(t *testing.T) {
+	s := NewStore(4)
+	s.SetRetention(1)
+	for b := netmodel.Bucket(0); b < 3*netmodel.BucketsPerHour; b++ {
+		s.Write([]Observation{{Prefix: 1, Bucket: b, Samples: 10}})
+	}
+	frontier := netmodel.Bucket(3*netmodel.BucketsPerHour - 1)
+	_ = s.ReadWindow(frontier, frontier+1) // evicts windows 0 and 1
+	evicted := s.EvictedWindows()
+	if evicted != 2 {
+		t.Fatalf("evicted %d windows, want 2", evicted)
+	}
+	// A late write into window 0 races the frontier and loses.
+	s.Write([]Observation{{Prefix: 9, Bucket: 1, Samples: 10}})
+	if got := s.NumWindows(); got != 1 {
+		t.Fatalf("late write resurrected a window: resident = %d, want 1", got)
+	}
+	if got := s.ReadWindow(0, netmodel.BucketsPerHour); len(got) != 0 {
+		t.Fatalf("late write readable after eviction: %d records", len(got))
+	}
+}
+
+// TestNumWindowsFlatOverMonth holds resident-window flatness over a
+// simulated month at the struct-of-arrays layout: a pipeline-shaped
+// write-then-read cadence with retention 2 must never hold more than
+// retention + 1 windows, regardless of run length.
+func TestNumWindowsFlatOverMonth(t *testing.T) {
+	s := NewStore(8)
+	s.SetRetention(2)
+	month := netmodel.Bucket(30 * netmodel.BucketsPerDay)
+	var buf []Observation
+	peak := 0
+	for b := netmodel.Bucket(0); b < month; b++ {
+		s.Write([]Observation{
+			{Prefix: netmodel.PrefixID(b % 97), Bucket: b, Samples: 12, MeanRTT: 30},
+			{Prefix: netmodel.PrefixID(b % 89), Bucket: b, Samples: 15, MeanRTT: 45},
+		})
+		buf = s.ReadWindowAppend(b, b+1, buf[:0])
+		if len(buf) != 2 {
+			t.Fatalf("bucket %d: read %d records, want 2", b, len(buf))
+		}
+		if n := s.NumWindows(); n > peak {
+			peak = n
+		}
+	}
+	if peak > 3 {
+		t.Fatalf("peak resident windows = %d, want <= 3 (retention 2 + the frontier window)", peak)
+	}
+	if s.EvictedWindows() == 0 {
+		t.Fatal("a month-long run evicted nothing")
+	}
+}

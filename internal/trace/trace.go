@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 
 	"blameit/internal/netmodel"
 )
@@ -193,13 +192,23 @@ func Join(rtts []RTTRecord, clients []ClientRecord) []Observation {
 	return out
 }
 
-// seqObs tags a stored observation with its arrival sequence number so
-// windowed reads can restore collector arrival order after the pseudo-random
-// scatter across storage buckets. Arrival order is what downstream
-// consumers (and trace replay) depend on for determinism.
-type seqObs struct {
-	seq uint64
-	obs Observation
+// storageBucket holds one storage bucket's records in struct-of-arrays
+// form: the arrival sequence numbers and the observations live in parallel
+// slices. Writes append, so each bucket is a presorted run by sequence
+// number — windowed reads restore collector arrival order by merging the
+// runs instead of re-sorting every matching record (the per-read
+// sort.Slice this layout replaced dominated the scan cost). Arrival order
+// is what downstream consumers (and trace replay) depend on for
+// determinism, and the split layout keeps the seq scan cache-dense.
+type storageBucket struct {
+	seqs []uint64
+	obs  []Observation
+}
+
+// runCursor is one storage bucket's position in the read-side merge.
+type runCursor struct {
+	bkt *storageBucket
+	i   int
 }
 
 // Store models the analytics cluster's ingestion quirk from §6.1: every
@@ -223,13 +232,14 @@ type seqObs struct {
 type Store struct {
 	bucketsPerWindow int
 	windowLen        netmodel.Bucket // ingestion window length in 5-min buckets
-	windows          map[int][][]seqObs
+	windows          map[int][]storageBucket
 	nextSeq          uint64
 	reads            int // storage buckets scanned (for the inefficiency metric)
 	recordsScanned   int // records examined, including filtered-out ones
 	retention        int // windows kept behind the read frontier; 0 = unbounded
 	evictBelow       int // all windows < evictBelow have been dropped
 	evicted          int // total windows evicted so far
+	cursors          []runCursor // read-side merge scratch, reused across reads
 }
 
 // NewStore creates a store with the given number of storage buckets per
@@ -250,7 +260,7 @@ func NewStoreWindow(bucketsPerWindow int, windowLen netmodel.Bucket) *Store {
 	return &Store{
 		bucketsPerWindow: bucketsPerWindow,
 		windowLen:        windowLen,
-		windows:          make(map[int][][]seqObs),
+		windows:          make(map[int][]storageBucket),
 	}
 }
 
@@ -287,12 +297,17 @@ func (s *Store) Write(obs []Observation) {
 		}
 		hb, ok := s.windows[h]
 		if !ok {
-			hb = make([][]seqObs, s.bucketsPerWindow)
+			hb = make([]storageBucket, s.bucketsPerWindow)
 			s.windows[h] = hb
 		}
-		// Pseudo-random but deterministic scatter.
-		i := int(uint64(o.Prefix)*2654435761+uint64(o.Cloud)*40503+uint64(o.Bucket)) % s.bucketsPerWindow
-		hb[i] = append(hb[i], seqObs{seq: s.nextSeq, obs: o})
+		// Pseudo-random but deterministic scatter. The modulo is taken in
+		// uint64: converting the hash to int first goes negative once the
+		// product exceeds MaxInt64 (large PrefixIDs), and a negative index
+		// panics. For hashes below MaxInt64 the two forms agree, so the
+		// scatter of every existing trace is unchanged.
+		i := int((uint64(o.Prefix)*2654435761 + uint64(o.Cloud)*40503 + uint64(o.Bucket)) % uint64(s.bucketsPerWindow))
+		hb[i].seqs = append(hb[i].seqs, s.nextSeq)
+		hb[i].obs = append(hb[i].obs, o)
 		s.nextSeq++
 	}
 }
@@ -310,6 +325,11 @@ func (s *Store) ReadWindow(from, to netmodel.Bucket) []Observation {
 // An empty or inverted range (to <= from) reads nothing and scans nothing.
 // If a retention horizon is set, windows that fall behind it afterwards
 // are evicted.
+//
+// Each storage bucket is a presorted run by sequence number (writes only
+// append), so arrival order is restored by a k-way merge over the runs —
+// no per-read global sort, and the only allocation in steady state is
+// whatever growth buf itself needs.
 func (s *Store) ReadWindowAppend(from, to netmodel.Bucket, buf []Observation) []Observation {
 	if to <= from {
 		return buf
@@ -320,32 +340,63 @@ func (s *Store) ReadWindowAppend(from, to netmodel.Bucket, buf []Observation) []
 	if to <= from {
 		return buf
 	}
-	var matches []seqObs
+	cursors := s.cursors[:0]
 	hi := s.windowOf(to - 1)
 	for h := s.windowOf(from); h <= hi; h++ {
 		hb, ok := s.windows[h]
 		if !ok {
 			continue
 		}
-		for _, bucket := range hb {
+		for bi := range hb {
+			bkt := &hb[bi]
 			s.reads++
-			s.recordsScanned += len(bucket)
-			for _, so := range bucket {
-				if so.obs.Bucket >= from && so.obs.Bucket < to {
-					matches = append(matches, so)
-				}
+			s.recordsScanned += len(bkt.obs)
+			c := runCursor{bkt: bkt}
+			if c.skipFiltered(from, to) {
+				cursors = append(cursors, c)
 			}
 		}
 	}
-	// The scatter destroyed arrival order; the sequence numbers restore it.
-	sort.Slice(matches, func(i, j int) bool { return matches[i].seq < matches[j].seq })
-	for _, so := range matches {
-		buf = append(buf, so.obs)
+	// The scatter destroyed arrival order; merging the runs on their
+	// sequence numbers restores it. The run count is small (storage buckets
+	// per window x overlapped windows), so a linear min-scan per emitted
+	// record beats heap bookkeeping.
+	live := len(cursors)
+	for len(cursors) > 0 {
+		min := 0
+		for ci := 1; ci < len(cursors); ci++ {
+			if cursors[ci].bkt.seqs[cursors[ci].i] < cursors[min].bkt.seqs[cursors[min].i] {
+				min = ci
+			}
+		}
+		c := &cursors[min]
+		buf = append(buf, c.bkt.obs[c.i])
+		c.i++
+		if !c.skipFiltered(from, to) {
+			cursors[min] = cursors[len(cursors)-1]
+			cursors = cursors[:len(cursors)-1]
+		}
 	}
+	// Drop the bucket pointers before parking the scratch: a stale cursor
+	// must not pin an evicted window's slices in memory.
+	clear(cursors[:live])
+	s.cursors = cursors[:0]
 	if s.retention > 0 {
 		s.evictBehind(hi)
 	}
 	return buf
+}
+
+// skipFiltered advances the cursor to its run's next record inside
+// [from, to), reporting whether one exists.
+func (c *runCursor) skipFiltered(from, to netmodel.Bucket) bool {
+	for c.i < len(c.bkt.obs) {
+		if b := c.bkt.obs[c.i].Bucket; b >= from && b < to {
+			return true
+		}
+		c.i++
+	}
+	return false
 }
 
 // evictBehind drops every resident window at or below frontier-retention.
