@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay bench-json cover verify
+.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
 
 all: verify
 
@@ -14,11 +14,11 @@ test:
 	$(GO) test ./...
 
 # The packages that fan work out across goroutines (sharded observation
-# generation, the parallel Algorithm 1 job) plus the localizer they call
-# concurrently and the ingestion layer the pipeline reads through, under
-# the race detector.
+# generation, the parallel Algorithm 1 job, the blameitd frontend/backend
+# split) plus the localizer they call concurrently and the ingestion
+# layer the pipeline reads through, under the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/...
 
 # The headline robustness gate: a 7-day A/B run under the heavy chaos
 # profile (20% probe failures, 5% corrupt records, bursty late delivery)
@@ -62,6 +62,12 @@ bench-json:
 cover:
 	$(GO) test -short -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
+
+# End-to-end daemon liveness: boot blameitd, replay a one-day trace into
+# it over HTTP with the tracegen loadgen, assert the read APIs answer,
+# SIGTERM, and require a clean drain (exit 0).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # The gate every change must pass: static checks, full build, full test
 # suite, and the race-detector pass over the concurrent packages.

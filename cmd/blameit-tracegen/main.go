@@ -8,22 +8,35 @@
 //	blameit-tracegen [-scale small|medium|large] [-seed N] [-days N]
 //	                 [-faults random|none] [-level quartet|sample]
 //	                 [-workers N] [-metrics] [-o FILE]
+//	                 [-post URL] [-batch N] [-seal=true]
 //
 // At -level quartet (default) each line is one aggregated quartet
 // observation; at -level sample each line is one raw handshake record with
 // a client IP, as the cloud servers log them.
+//
+// With -post the tracegen becomes a load generator: instead of writing the
+// trace, it replays it over HTTP into a running blameitd, POSTing JSONL
+// batches of -batch records to URL/v1/ingest (backing off on 429) and
+// sealing the final bucket when generation ends so the daemon's backend
+// localizes everything:
+//
+//	blameit-tracegen -scale medium -days 2 -post http://localhost:7031
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
+	"time"
 
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
@@ -33,6 +46,114 @@ import (
 	"blameit/internal/topology"
 	"blameit/internal/trace"
 )
+
+// poster replays the generated trace over HTTP: records accumulate into
+// JSONL bodies of batchRecords each and are POSTed to a blameitd ingest
+// endpoint. 429 (queue backpressure) retries with capped exponential
+// backoff — the daemon's backend is the rate limiter; any other non-2xx
+// status is fatal.
+type poster struct {
+	ctx          context.Context
+	base         string
+	client       *http.Client
+	buf          bytes.Buffer
+	n            int
+	batchRecords int
+
+	posted  int64
+	batches int64
+	retries int64
+}
+
+func newPoster(ctx context.Context, base string, batchRecords int) *poster {
+	return &poster{
+		ctx:          ctx,
+		base:         base,
+		client:       &http.Client{Timeout: 60 * time.Second},
+		batchRecords: batchRecords,
+	}
+}
+
+// add appends one bucket's records, flushing complete batches.
+func (p *poster) add(obs []trace.Observation) error {
+	if err := trace.WriteJSONL(&p.buf, obs); err != nil {
+		return err
+	}
+	p.n += len(obs)
+	if p.n >= p.batchRecords {
+		return p.flush()
+	}
+	return nil
+}
+
+// flush POSTs the pending batch, retrying backpressure until ctx dies.
+func (p *poster) flush() error {
+	if p.n == 0 {
+		return nil
+	}
+	body := p.buf.Bytes()
+	backoff := 50 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, p.base+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := p.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("posting batch: %w", err)
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			p.retries++
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				backoff = time.Duration(ra) * time.Second
+			}
+			select {
+			case <-p.ctx.Done():
+				return p.ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		case resp.StatusCode/100 != 2:
+			return fmt.Errorf("ingest endpoint answered %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+		p.posted += int64(p.n)
+		p.batches++
+		p.buf.Reset()
+		p.n = 0
+		return nil
+	}
+}
+
+// seal flushes the tail batch and seals the trace's final bucket so the
+// daemon steps it without waiting for a later record that never comes.
+func (p *poster) seal(through netmodel.Bucket) error {
+	if err := p.flush(); err != nil {
+		return err
+	}
+	body := fmt.Sprintf(`{"through":%d}`, through)
+	req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, p.base+"/v1/seal", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("sealing through bucket %d: %w", through, err)
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("seal endpoint answered %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -44,6 +165,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for observation/sample generation (0 = all cores, 1 = sequential; output is identical either way)")
 		dumpMetrics = flag.Bool("metrics", false, "dump the generation metrics snapshot as JSON on stderr at exit")
 		outFile     = flag.String("o", "", "output file (default stdout)")
+		postURL     = flag.String("post", "", "replay the trace over HTTP into a blameitd at this base URL instead of writing it (quartet level only)")
+		batchSize   = flag.Int("batch", 5000, "records per POST batch in -post mode")
+		sealFinal   = flag.Bool("seal", true, "in -post mode, seal the final bucket after the replay so the daemon localizes it")
 	)
 	flag.Parse()
 
@@ -95,17 +219,46 @@ func main() {
 	}
 	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
 
+	if *postURL != "" && *level != "quartet" {
+		fmt.Fprintln(os.Stderr, "tracegen: -post supports only -level quartet (the daemon ingests quartet observations)")
+		os.Exit(1)
+	}
+
 	var written int64
 	switch *level {
 	case "quartet":
+		sink := func(obs []trace.Observation) error { return trace.WriteJSONL(out, obs) }
+		var p *poster
+		if *postURL != "" {
+			p = newPoster(ctx, *postURL, *batchSize)
+			sink = p.add
+		}
+		start := time.Now()
 		var buf []trace.Observation
 		for b := netmodel.Bucket(0); b < horizon && ctx.Err() == nil; b++ {
 			buf = s.ObservationsAt(b, buf[:0])
-			if err := trace.WriteJSONL(out, buf); err != nil {
+			if err := sink(buf); err != nil {
 				fmt.Fprintln(os.Stderr, "tracegen:", err)
 				os.Exit(1)
 			}
 			written += int64(len(buf))
+		}
+		if p != nil {
+			err := p.flush()
+			if err == nil && *sealFinal && ctx.Err() == nil {
+				err = p.seal(horizon - 1)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(start).Seconds()
+			rate := float64(p.posted)
+			if elapsed > 0 {
+				rate /= elapsed
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: replayed %d records over HTTP in %d batches (%.0f records/sec, %d backpressure retries)\n",
+				p.posted, p.batches, rate, p.retries)
 		}
 	case "sample":
 		enc := json.NewEncoder(out)

@@ -1,0 +1,201 @@
+// Command blameitd runs BlameIt as a long-lived HTTP service: an ingestion
+// frontend accepting JSONL observation batches, a backend worker stepping
+// the Algorithm 1 localization job as buckets seal, and read APIs for
+// verdicts, reports, health, and metrics. It is the service-shaped
+// counterpart of the batch `blameit` CLI: the same pipeline, fed over HTTP
+// instead of from a file or a live simulator, producing byte-identical
+// reports for the same telemetry.
+//
+// Usage:
+//
+//	blameitd [-addr :7031] [-scale small|medium|large] [-seed N]
+//	         [-workload random|none] [-warmup N] [-days N] [-budget N]
+//	         [-top N] [-workers N] [-manual-seal] [-max-batch-mb N]
+//	         [-max-pending N] [-retain-reports N]
+//
+// The world flags (-scale, -seed, -workload, -warmup, -days) must match
+// the trace producer's, exactly as for `blameit -replay`: the daemon
+// regenerates topology and routing from the seeds (configuration, not
+// telemetry) and serves active-phase probes from the deterministic engine
+// over that world. Feed it with the tracegen loadgen:
+//
+//	blameitd -addr :7031 &
+//	blameit-tracegen -days 2 -post http://localhost:7031
+//
+// SIGTERM/SIGINT drain gracefully: ingestion stops with 503, every queued
+// bucket is stepped, the in-flight window is flushed as a final report,
+// and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/server"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+)
+
+type options struct {
+	addr          string
+	scaleName     string
+	seed          int64
+	workload      string
+	warmup        int
+	days          int
+	budget        int
+	topN          int
+	workers       int
+	manualSeal    bool
+	maxBatchMB    int
+	maxPending    int
+	retainReports int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7031", "HTTP listen address")
+	flag.StringVar(&o.scaleName, "scale", "small", "world scale: small, medium or large")
+	flag.Int64Var(&o.seed, "seed", 42, "deterministic seed for the world, faults and probe noise (must match the trace producer)")
+	flag.StringVar(&o.workload, "workload", "random", "fault workload behind the probe engine: random or none (must match the trace producer)")
+	flag.IntVar(&o.warmup, "warmup", 1, "warmup days of ingested telemetry used for expected-RTT learning before localization starts")
+	flag.IntVar(&o.days, "days", 30, "horizon in days for fault and routing generation (bounds how far the probe engine can serve)")
+	flag.IntVar(&o.budget, "budget", 50, "on-demand traceroutes per cloud location per day (0 = unlimited)")
+	flag.IntVar(&o.topN, "top", 10, "tickets per job run (0 = unlimited)")
+	flag.IntVar(&o.workers, "workers", 0, "goroutines for the Algorithm 1 job (0 = all cores)")
+	flag.BoolVar(&o.manualSeal, "manual-seal", false, "seal buckets only via POST /v1/seal, never implicitly by later-bucket arrivals")
+	flag.IntVar(&o.maxBatchMB, "max-batch-mb", 32, "largest accepted ingest body in MiB (413 beyond)")
+	flag.IntVar(&o.maxPending, "max-pending", server.DefaultMaxPendingRecords, "ingest queue depth in records (429 beyond)")
+	flag.IntVar(&o.retainReports, "retain-reports", server.DefaultMaxReports, "reports kept for the read APIs (oldest evicted)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "blameitd:", err)
+		os.Exit(1)
+	}
+}
+
+func scaleByName(name string) (topology.Scale, error) {
+	switch name {
+	case "small":
+		return topology.SmallScale(), nil
+	case "medium":
+		return topology.MediumScale(), nil
+	case "large":
+		return topology.LargeScale(), nil
+	default:
+		return topology.Scale{}, fmt.Errorf("unknown scale %q (small|medium|large)", name)
+	}
+}
+
+func run(o options) error {
+	scale, err := scaleByName(o.scaleName)
+	if err != nil {
+		return err
+	}
+	if o.warmup < 0 || o.days < 1 {
+		return fmt.Errorf("warmup must be >= 0 and days >= 1")
+	}
+	w := topology.Generate(scale, o.seed)
+	horizon := netmodel.Bucket(o.days * netmodel.BucketsPerDay)
+
+	var fs []faults.Fault
+	switch o.workload {
+	case "random":
+		fs = faults.Generate(w, faults.DefaultGenerateConfig(), horizon, o.seed+1).Faults
+	case "none":
+	default:
+		return fmt.Errorf("unknown workload %q (random|none)", o.workload)
+	}
+
+	reg := metrics.NewRegistry()
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, o.seed+2)
+	scfg := sim.DefaultConfig(o.seed + 3)
+	scfg.Workers = o.workers
+	if err := scfg.Validate(); err != nil {
+		return err
+	}
+	s := sim.New(w, tbl, faults.NewSchedule(fs), scfg)
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.BudgetPerCloudPerDay = o.budget
+	pcfg.TopNAlerts = o.topN
+	pcfg.Workers = o.workers
+	pcfg.Metrics = reg
+	cfg := server.Config{
+		Pipeline:          pcfg,
+		WarmupBuckets:     netmodel.Bucket(o.warmup * netmodel.BucketsPerDay),
+		MaxBatchBytes:     int64(o.maxBatchMB) << 20,
+		MaxPendingRecords: o.maxPending,
+		MaxReports:        o.retainReports,
+		ManualSeal:        o.manualSeal,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	// The daemon's pipeline reads observations from the HTTP ingest queue;
+	// only active-phase probes come from the deterministic engine over the
+	// regenerated world — the same split as `blameit -replay`.
+	srv, err := server.New(pipeline.Deps{
+		World:  w,
+		Table:  tbl,
+		Prober: probe.NewEngine(s, pcfg.ProbeNoiseMS),
+	}, cfg)
+	if err != nil {
+		return err
+	}
+
+	st := w.Stats()
+	fmt.Printf("world: %d clouds, %d metros, %d ASes, %d BGP prefixes, %d /24s, %d active clients\n",
+		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
+	fmt.Printf("blameitd listening on %s (warmup %d buckets, job every %d buckets, workload %s over %d days)\n",
+		o.addr, cfg.WarmupBuckets, pcfg.RunEvery, o.workload, o.days)
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-httpErr:
+		srv.Shutdown(context.Background())
+		return err
+	case <-sigCtx.Done():
+	}
+	fmt.Println("blameitd: signal received; draining")
+
+	// Stop accepting connections first, then drain the backend: every
+	// bucket already queued is stepped and the in-flight window is flushed
+	// as a final report before the process exits.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		httpSrv.Close()
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelDrain()
+	err = srv.Shutdown(drainCtx)
+
+	p := srv.Pipeline()
+	quar := p.Quarantine()
+	fmt.Printf("blameitd: drained; %d reports published, %d records quarantined (%s)\n",
+		srv.Reports(), quar.Total(), quar)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"blameit/internal/trace"
+)
+
+// DecodeBatch decodes one bounded JSONL observation batch — the request
+// body of a blameitd POST /v1/ingest — appending the records to buf and
+// returning the extended slice. Lines are decoded exactly as a streaming
+// replay decodes them: the canonical WriteJSONL shape takes the alloc-free
+// scanner, anything else falls back to encoding/json, and blank lines are
+// skipped. A batch whose final line lacks a trailing newline is still
+// complete; a line that is half a record is malformed.
+//
+// onBad selects the failure mode, mirroring StreamSource's strict/salvage
+// split: when nil, the first undecodable line aborts the batch with a
+// positioned error (record index and byte offset) and the caller should
+// reject the whole batch; otherwise each undecodable line is handed to
+// onBad (quarantine it there) and decoding continues on the next line.
+func DecodeBatch(data []byte, buf []trace.Observation, onBad func(line []byte)) ([]trace.Observation, error) {
+	offset := 0
+	rec := 0
+	for len(data) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(data, '\n'); nl < 0 {
+			line, data = data, nil
+		} else {
+			line, data = data[:nl+1], data[nl+1:]
+		}
+		lineStart := offset
+		offset += len(line)
+		if isBlank(line) {
+			continue
+		}
+		var o trace.Observation
+		if !decodeCanonical(line, &o) {
+			o = trace.Observation{}
+			if err := json.Unmarshal(line, &o); err != nil {
+				if onBad == nil {
+					return buf, fmt.Errorf("ingest: decoding batch record %d (byte offset %d): %w", rec, lineStart, err)
+				}
+				onBad(line)
+				continue
+			}
+		}
+		rec++
+		buf = append(buf, o)
+	}
+	return buf, nil
+}

@@ -1,0 +1,104 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blameit/internal/trace"
+)
+
+func batchOf(t *testing.T, obs []trace.Observation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeBatchRoundTrip(t *testing.T) {
+	want := []trace.Observation{
+		{Prefix: 3, Cloud: 1, Device: 0, Bucket: 7, Samples: 40, MeanRTT: 52.25, Clients: 9},
+		{Prefix: 11, Cloud: 0, Device: 1, Bucket: 7, Samples: 12, MeanRTT: 140.5, Clients: 2},
+	}
+	body := batchOf(t, want)
+	got, err := DecodeBatch(body, nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Blank lines are skipped; a final line without a trailing newline is
+	// still a complete record; non-canonical but valid JSON falls back to
+	// encoding/json.
+	mixed := "\n" + strings.TrimSuffix(string(body), "\n") + "\n\n" +
+		`{"bucket":7,"prefix":5,"cloud":1,"device":0,"samples":8,"mean_rtt_ms":33,"clients":1}`
+	got, err = DecodeBatch([]byte(mixed), nil, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch mixed: %v", err)
+	}
+	if len(got) != 3 || got[2].Prefix != 5 || got[2].MeanRTT != 33 {
+		t.Fatalf("mixed decode = %+v, want 3 records ending in prefix 5", got)
+	}
+}
+
+func TestDecodeBatchAppendsToBuf(t *testing.T) {
+	obs := []trace.Observation{{Prefix: 1, Bucket: 2, Samples: 5, MeanRTT: 10, Clients: 1}}
+	seed := []trace.Observation{{Prefix: 99, Bucket: 1}}
+	got, err := DecodeBatch(batchOf(t, obs), seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Prefix != 99 || got[1].Prefix != 1 {
+		t.Fatalf("append result = %+v, want the seed record then the decoded one", got)
+	}
+}
+
+func TestDecodeBatchStrictPositionedError(t *testing.T) {
+	good := batchOf(t, []trace.Observation{{Prefix: 1, Bucket: 0, Samples: 5, MeanRTT: 10, Clients: 1}})
+	body := append(append([]byte{}, good...), []byte("half a rec")...)
+	_, err := DecodeBatch(body, nil, nil)
+	if err == nil {
+		t.Fatal("strict decode of a truncated record succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "record 1") || !strings.Contains(msg, "byte offset") {
+		t.Errorf("error %q carries no record index / byte offset", msg)
+	}
+}
+
+func TestDecodeBatchSalvage(t *testing.T) {
+	good := []trace.Observation{
+		{Prefix: 1, Bucket: 0, Samples: 5, MeanRTT: 10, Clients: 1},
+		{Prefix: 2, Bucket: 0, Samples: 6, MeanRTT: 20, Clients: 2},
+	}
+	body := batchOf(t, good[:1])
+	body = append(body, []byte("### not json ###\n")...)
+	body = append(body, batchOf(t, good[1:])...)
+	body = append(body, []byte(`{"bucket":0,"trunc`)...)
+
+	var bad [][]byte
+	got, err := DecodeBatch(body, nil, func(line []byte) {
+		bad = append(bad, append([]byte(nil), line...))
+	})
+	if err != nil {
+		t.Fatalf("salvage decode: %v", err)
+	}
+	if len(got) != 2 || got[0].Prefix != 1 || got[1].Prefix != 2 {
+		t.Fatalf("salvaged records = %+v, want prefixes 1 and 2", got)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("onBad saw %d lines, want 2", len(bad))
+	}
+	if !bytes.Contains(bad[0], []byte("not json")) || !bytes.Contains(bad[1], []byte("trunc")) {
+		t.Errorf("onBad lines = %q, want the garbage and the truncated tail", bad)
+	}
+}

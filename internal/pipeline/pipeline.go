@@ -785,6 +785,26 @@ func (p *Pipeline) RunContext(ctx context.Context, from, to netmodel.Bucket, cb 
 	return nil
 }
 
+// Finalize runs FinalizeContext without cancellation.
+func (p *Pipeline) Finalize() (*Report, error) {
+	return p.FinalizeContext(context.Background())
+}
+
+// FinalizeContext flushes a partially accumulated window: when a run stops
+// off the job cadence (a daemon draining on SIGTERM mid-window), the
+// buckets stepped since the last job run have been classified but never
+// localized. It runs the Algorithm 1 job over them and returns the final
+// report, or (nil, nil) when the window is empty — a run that stopped on a
+// cadence boundary has nothing to flush, and finalizing it emits no
+// fabricated report. After a Finalize the pipeline can keep stepping; the
+// next job window starts at the next stepped bucket.
+func (p *Pipeline) FinalizeContext(ctx context.Context) (*Report, error) {
+	if len(p.window) == 0 {
+		return nil, nil
+	}
+	return p.runJob(ctx, p.window[len(p.window)-1].b)
+}
+
 // Flush closes open incident runs at the end of a simulation.
 func (p *Pipeline) Flush() []quartet.Incident {
 	p.MiddleTracker.Flush()

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/trace"
+)
+
+// concurrencyWorkload replays the small-scale workload into a daemon with
+// the given number of concurrent ingest goroutines and read hammerers,
+// and returns the canonical report stream. ManualSeal isolates the
+// result from arrival order: bucket b is owned by pusher b%pushers, so
+// within-bucket order is preserved while cross-bucket arrival order is
+// whatever the scheduler makes of it; nothing seals until every record
+// is in.
+func concurrencyWorkload(t *testing.T, warmup, horizon netmodel.Bucket, pushers, readers int) []byte {
+	t.Helper()
+	probeSim := newTestSim(1)
+	feed := newTestSim(1)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Workers = 1
+	srv, err := New(pipeline.Deps{
+		World:  probeSim.World,
+		Table:  probeSim.Routes,
+		Prober: probe.NewEngine(probeSim, pcfg.ProbeNoiseMS),
+	}, Config{Pipeline: pcfg, WarmupBuckets: warmup, ManualSeal: true})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Pre-generate every bucket's body sequentially: the simulator is not
+	// shared across goroutines, and each run must feed identical bytes.
+	bodies := make([][]byte, horizon)
+	var obs []trace.Observation
+	for b := netmodel.Bucket(0); b < horizon; b++ {
+		obs = feed.ObservationsAt(b, obs[:0])
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, obs); err != nil {
+			t.Fatal(err)
+		}
+		bodies[b] = buf.Bytes()
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			paths := []string{"/v1/verdicts", "/metrics", "/healthz", "/v1/reports"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[n%len(paths)])
+				if err != nil {
+					return // server shutting down
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	var pushWG sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		pushWG.Add(1)
+		go func(p int) {
+			defer pushWG.Done()
+			for b := netmodel.Bucket(p); b < horizon; b += netmodel.Bucket(pushers) {
+				postWithRetry(t, client, ts.URL+"/v1/ingest", bodies[b])
+			}
+		}(p)
+	}
+	pushWG.Wait()
+
+	if status, body := postSeal(t, client, ts.URL, horizon-1); status != 202 {
+		t.Fatalf("seal = %d (%s), want 202", status, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	readerWG.Wait()
+	return collectCanonical(t, client, ts.URL)
+}
+
+// TestConcurrentIngestAndReads hammers the frontend with concurrent
+// ingest goroutines and read-path goroutines (this is the package's
+// -race exercise) and requires the final verdict stream to be
+// byte-identical to a sequential single-client run.
+func TestConcurrentIngestAndReads(t *testing.T) {
+	warmup := netmodel.Bucket(netmodel.BucketsPerHour)
+	horizon := netmodel.Bucket(4 * netmodel.BucketsPerHour)
+	want := concurrencyWorkload(t, warmup, horizon, 1, 0)
+	if len(want) == 0 {
+		t.Fatal("sequential run produced no reports")
+	}
+	got := concurrencyWorkload(t, warmup, horizon, 4, 3)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("concurrent run diverged from sequential: %d vs %d canonical bytes", len(got), len(want))
+	}
+}

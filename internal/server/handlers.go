@@ -1,0 +1,286 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"blameit/internal/active"
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/seal", s.handleSeal)
+	s.mux.HandleFunc("GET /v1/verdicts", s.handleVerdicts)
+	s.mux.HandleFunc("GET /v1/reports", s.handleReports)
+	s.mux.HandleFunc("GET /v1/reports/{bucket}", s.handleReport)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// writeJSON renders one response body. Encoding failures at this point can
+// only be programming errors; the status line has already been sent.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ingestResponse summarizes one accepted batch.
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	// Rejected counts salvage-mode lines diverted to the quarantine.
+	Rejected int `json:"rejected,omitempty"`
+}
+
+// handleIngest accepts one JSONL observation batch. The body is bounded by
+// MaxBatchBytes (413 beyond it); undecodable lines fail the whole batch
+// with 400 unless ?mode=salvage routes them to the ingestion quarantine; a
+// full queue answers 429 so clients back off; a draining server answers
+// 503. Decoded records are enqueued atomically, in body order.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining: ingestion is closed")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.mOversized.Inc()
+			s.mRejected.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "reading batch: %v", err)
+		return
+	}
+	salvage := r.URL.Query().Get("mode") == "salvage"
+	var onBad func([]byte)
+	rejected := 0
+	if salvage {
+		at := s.q.Watermark()
+		onBad = func(line []byte) {
+			rejected++
+			s.frontMu.Lock()
+			s.frontQuar.RejectLine(line, at)
+			s.frontMu.Unlock()
+		}
+	}
+	obs, err := ingest.DecodeBatch(body, nil, onBad)
+	if err != nil {
+		s.mRejected.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.q.Push(obs); err != nil {
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			s.mBackpress.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "ingest queue full (%d records pending); retry after the backend drains", s.cfg.MaxPendingRecords)
+		default:
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	s.mBatches.Inc()
+	s.mRecords.Add(int64(len(obs)))
+	pending, _ := s.q.Depth()
+	s.gQueueDepth.Set(int64(pending))
+	writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(obs), Rejected: rejected})
+}
+
+// sealRequest advances the seal watermark: every bucket <= Through becomes
+// readable by the backend. The loadgen sends it after the final batch; a
+// deployment whose collectors seal on wall-clock posts it on a timer.
+type sealRequest struct {
+	Through netmodel.Bucket `json:"through"`
+}
+
+type sealResponse struct {
+	// Watermark is the lowest unsealed bucket after the seal.
+	Watermark netmodel.Bucket `json:"watermark"`
+}
+
+func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading seal request: %v", err)
+		return
+	}
+	var req sealRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding seal request: %v", err)
+		return
+	}
+	if req.Through < 0 {
+		writeError(w, http.StatusBadRequest, "seal through %d must be >= 0", req.Through)
+		return
+	}
+	s.q.SealThrough(req.Through)
+	s.mSeals.Inc()
+	writeJSON(w, http.StatusAccepted, sealResponse{Watermark: s.q.Watermark()})
+}
+
+// verdictWindow is one report's active-phase verdicts with its window.
+type verdictWindow struct {
+	From     netmodel.Bucket  `json:"from"`
+	To       netmodel.Bucket  `json:"to"`
+	Verdicts []active.Verdict `json:"verdicts"`
+}
+
+// handleVerdicts returns the AS-level localizations of every retained
+// report, oldest first. ?since=BUCKET keeps only windows ending at or
+// after the bucket.
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	since := netmodel.Bucket(-1)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since bucket %q", v)
+			return
+		}
+		since = netmodel.Bucket(n)
+	}
+	out := []verdictWindow{}
+	for _, sr := range s.reports.snapshot() {
+		if sr.rep.To < since {
+			continue
+		}
+		vs := sr.rep.Verdicts
+		if vs == nil {
+			vs = []active.Verdict{}
+		}
+		out = append(out, verdictWindow{From: sr.rep.From, To: sr.rep.To, Verdicts: vs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// reportSummary is one retained report's index entry.
+type reportSummary struct {
+	Seq      int64           `json:"seq"`
+	From     netmodel.Bucket `json:"from"`
+	To       netmodel.Bucket `json:"to"`
+	Results  int             `json:"results"`
+	Verdicts int             `json:"verdicts"`
+	Tickets  int             `json:"tickets"`
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	out := []reportSummary{}
+	for _, sr := range s.reports.snapshot() {
+		out = append(out, reportSummary{
+			Seq: sr.seq, From: sr.rep.From, To: sr.rep.To,
+			Results: len(sr.rep.Results), Verdicts: len(sr.rep.Verdicts), Tickets: len(sr.rep.Tickets),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReport serves the canonical JSON of the report whose job window
+// covers the requested bucket — the same bytes the batch CLI's replay
+// equivalence is graded on.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("bucket")
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad bucket %q", raw)
+		return
+	}
+	sr, ok := s.reports.byBucket(netmodel.Bucket(n))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no retained report covers bucket %d", n)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sr.canonical)
+	_, _ = w.Write([]byte{'\n'})
+}
+
+// healthResponse is the service's liveness/data-plane summary. Status
+// follows the latest report's Health grade (the transport's state, not the
+// verdicts'): ok, degraded, or dark; "failed" when the backend died.
+type healthResponse struct {
+	Status       string           `json:"status"`
+	Backend      string           `json:"backend"`
+	Reports      int64            `json:"reports"`
+	QueueDepth   int              `json:"queue_depth"`
+	Ingested     int64            `json:"ingested"`
+	Watermark    netmodel.Bucket  `json:"watermark"`
+	LastWindowTo *netmodel.Bucket `json:"last_window_to,omitempty"`
+	Health       *pipeline.Health `json:"health,omitempty"`
+	FrontQuar    int64            `json:"frontend_quarantined,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok", Backend: "running"}
+	select {
+	case <-s.done:
+		if err := s.Err(); err != nil {
+			resp.Backend = "failed: " + err.Error()
+		} else {
+			resp.Backend = "stopped"
+		}
+	default:
+		if s.draining.Load() {
+			resp.Backend = "draining"
+		}
+	}
+	resp.QueueDepth, resp.Ingested = s.q.Depth()
+	resp.Watermark = s.q.Watermark()
+	resp.Reports = s.reports.count()
+	s.frontMu.Lock()
+	resp.FrontQuar = s.frontQuar.Total()
+	s.frontMu.Unlock()
+	if sr, ok := s.reports.latest(); ok {
+		h := sr.rep.Health
+		to := sr.rep.To
+		resp.Health = &h
+		resp.LastWindowTo = &to
+		switch {
+		case h.Source == pipeline.Dark || h.Prober == pipeline.Dark:
+			resp.Status = "dark"
+		case h.Source == pipeline.Degraded || h.Prober == pipeline.Degraded:
+			resp.Status = "degraded"
+		}
+	}
+	status := http.StatusOK
+	if resp.Status == "dark" || s.Err() != nil {
+		resp.Status = "dark"
+		if s.Err() != nil {
+			resp.Status = "failed"
+		}
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the pipeline registry's deterministic JSON
+// snapshot — every counter, gauge, and histogram of the ingestion, job,
+// probing, and serving layers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		// The status line is gone; nothing useful to do but drop the conn.
+		return
+	}
+}

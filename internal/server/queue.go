@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// Errors the frontend maps to HTTP status codes.
+var (
+	// ErrBackpressure means the queue is at capacity; the client should
+	// retry after the backend drains (HTTP 429).
+	ErrBackpressure = errors.New("server: ingest queue full")
+	// ErrClosed means the server is draining and accepts no more records
+	// (HTTP 503).
+	ErrClosed = errors.New("server: ingest queue closed")
+)
+
+// ingestQueue is the seam between the HTTP frontend and the pipeline
+// backend: handlers Push record batches into per-bucket pending buffers,
+// and the backend reads them out through the ingest.ObservationSource
+// interface — the same interface a file replay or a live simulator feeds
+// the pipeline through, which is what keeps the daemon byte-equivalent to
+// the batch CLI.
+//
+// A bucket becomes readable when it SEALS. In the streaming mode (the
+// default), a record for bucket X seals every bucket below X — the
+// watermark discipline of a bucket-ordered trace replay. SealThrough
+// advances the watermark explicitly (the loadgen's final seal, or a
+// deployment that seals on wall-clock). Closing the queue seals everything
+// still pending, so a draining backend steps the remaining buckets and
+// stops.
+//
+// Ordering: within a bucket, records are served in arrival order (Push
+// appends under the lock), which is the order-equivalence contract of
+// ObservationSource. Records arriving for a bucket the backend has already
+// consumed are held and delivered with the next read, where the pipeline's
+// quarantine rejects them as late — exactly how a chaos-injected late
+// batch is treated. Records for buckets the backend skipped over (warmup
+// subsampling) are discarded, as a streaming replay discards them.
+type ingestQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	pending map[netmodel.Bucket][]trace.Observation
+	// stale holds arrivals for already-consumed buckets until the next
+	// read flushes them into the pipeline's late-record quarantine path.
+	stale []trace.Observation
+
+	// frontier is the next bucket the backend will read; every bucket
+	// below it has been consumed or skipped.
+	frontier netmodel.Bucket
+	// watermark is the lowest unsealed bucket: reads for b < watermark
+	// proceed, reads at or above it block.
+	watermark netmodel.Bucket
+
+	records    int // pending + stale records, for backpressure
+	maxRecords int // 0 = unbounded
+	manualSeal bool
+	closed     bool
+
+	discarded int64 // records dropped for skipped (subsampled) buckets
+	pushed    int64 // records accepted over the queue's lifetime
+}
+
+func newIngestQueue(maxRecords int, manualSeal bool) *ingestQueue {
+	q := &ingestQueue{
+		pending:    make(map[netmodel.Bucket][]trace.Observation),
+		maxRecords: maxRecords,
+		manualSeal: manualSeal,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues one decoded batch. The whole batch is accepted or refused:
+// over capacity returns ErrBackpressure (nothing enqueued), after Close
+// returns ErrClosed.
+func (q *ingestQueue) Push(obs []trace.Observation) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.maxRecords > 0 && q.records+len(obs) > q.maxRecords {
+		return ErrBackpressure
+	}
+	for _, o := range obs {
+		if o.Bucket < q.frontier {
+			q.stale = append(q.stale, o)
+			continue
+		}
+		q.pending[o.Bucket] = append(q.pending[o.Bucket], o)
+		if !q.manualSeal && o.Bucket > q.watermark {
+			q.watermark = o.Bucket
+		}
+	}
+	q.records += len(obs)
+	q.pushed += int64(len(obs))
+	q.cond.Broadcast()
+	return nil
+}
+
+// SealThrough marks every bucket up to and including b as sealed, letting
+// the backend read them even though no later record has arrived. The
+// watermark never regresses.
+func (q *ingestQueue) SealThrough(b netmodel.Bucket) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b+1 > q.watermark {
+		q.watermark = b + 1
+	}
+	q.cond.Broadcast()
+}
+
+// Close stops ingestion and seals everything pending: Push fails with
+// ErrClosed, blocked reads return, and awaitBucket reports done once the
+// backlog is drained.
+func (q *ingestQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Depth reports the queued record count and the accepted total.
+func (q *ingestQueue) Depth() (pending int, pushed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.records, q.pushed
+}
+
+// Discarded reports records dropped for buckets the backend skipped.
+func (q *ingestQueue) Discarded() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.discarded
+}
+
+// Watermark returns the lowest unsealed bucket.
+func (q *ingestQueue) Watermark() netmodel.Bucket {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.watermark
+}
+
+// maxQueuedLocked returns the highest bucket with pending records, or -1.
+func (q *ingestQueue) maxQueuedLocked() netmodel.Bucket {
+	max := netmodel.Bucket(-1)
+	for b := range q.pending {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// discardBelowLocked drops pending buckets below b — the backend skipped
+// them (warmup subsampling) and a streaming source discards skipped
+// records rather than serving them late.
+func (q *ingestQueue) discardBelowLocked(b netmodel.Bucket) {
+	for pb, obs := range q.pending {
+		if pb < b {
+			q.records -= len(obs)
+			q.discarded += int64(len(obs))
+			delete(q.pending, pb)
+		}
+	}
+}
+
+// awaitBucket blocks until bucket b is sealed (returns true: step it) or
+// the queue is closed and nothing at or past b remains (returns false: the
+// drain is complete). After Close it keeps returning true while records at
+// or past b — or held stale records — remain, so a draining backend
+// flushes the in-flight buckets instead of abandoning them. Cancelling ctx
+// returns false immediately.
+func (q *ingestQueue) awaitBucket(ctx context.Context, b netmodel.Bucket) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	stop := context.AfterFunc(ctx, q.cond.Broadcast)
+	defer stop()
+	for {
+		if ctx.Err() != nil {
+			return false
+		}
+		if b < q.watermark {
+			return true
+		}
+		if q.closed {
+			return q.maxQueuedLocked() >= b || len(q.stale) > 0
+		}
+		q.cond.Wait()
+	}
+}
+
+// ObservationsAt implements ingest.ObservationSource: it serves bucket b's
+// records in arrival order, preceded by any held stale records (the
+// pipeline's quarantine rejects those as late). It blocks until b seals,
+// the queue closes, or ctx is cancelled; the pipeline's warmup and step
+// loops call it with non-decreasing buckets, discarding skipped ones.
+func (q *ingestQueue) ObservationsAt(ctx context.Context, b netmodel.Bucket, buf []trace.Observation) ([]trace.Observation, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.discardBelowLocked(b)
+	stop := context.AfterFunc(ctx, q.cond.Broadcast)
+	defer stop()
+	for b >= q.watermark && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return buf, err
+	}
+	buf = append(buf, q.stale...)
+	buf = append(buf, q.pending[b]...)
+	q.records -= len(q.stale) + len(q.pending[b])
+	q.stale = q.stale[:0]
+	delete(q.pending, b)
+	if b+1 > q.frontier {
+		q.frontier = b + 1
+	}
+	q.cond.Broadcast()
+	return buf, nil
+}

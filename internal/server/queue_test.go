@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+func obsAt(b netmodel.Bucket, n int) []trace.Observation {
+	out := make([]trace.Observation, n)
+	for i := range out {
+		out[i] = trace.Observation{Prefix: netmodel.PrefixID(i), Bucket: b, Samples: 10, MeanRTT: 50, Clients: 3}
+	}
+	return out
+}
+
+// TestQueueStreamingSeal: a record for bucket X seals every bucket below
+// X; reads serve sealed buckets in arrival order and block otherwise.
+func TestQueueStreamingSeal(t *testing.T) {
+	q := newIngestQueue(0, false)
+	if err := q.Push(obsAt(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(obsAt(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if w := q.Watermark(); w != 1 {
+		t.Fatalf("watermark = %d, want 1 (bucket-1 arrival seals bucket 0)", w)
+	}
+	got, err := q.ObservationsAt(context.Background(), 0, nil)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("read bucket 0 = %d records, %v; want 3, nil", len(got), err)
+	}
+	// Bucket 1 is unsealed: the read must block until SealThrough.
+	done := make(chan int, 1)
+	go func() {
+		o, _ := q.ObservationsAt(context.Background(), 1, nil)
+		done <- len(o)
+	}()
+	select {
+	case n := <-done:
+		t.Fatalf("read of unsealed bucket 1 returned %d records without blocking", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.SealThrough(1)
+	if n := <-done; n != 2 {
+		t.Fatalf("read bucket 1 = %d records, want 2", n)
+	}
+}
+
+// TestQueueBackpressureWholeBatch: admission is all-or-nothing against
+// MaxPendingRecords.
+func TestQueueBackpressureWholeBatch(t *testing.T) {
+	q := newIngestQueue(5, true)
+	if err := q.Push(obsAt(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(obsAt(0, 2)); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("overflow push = %v, want ErrBackpressure", err)
+	}
+	if pending, pushed := q.Depth(); pending != 4 || pushed != 4 {
+		t.Fatalf("depth after refused batch = %d/%d, want 4/4 (nothing from the refused batch enqueued)", pending, pushed)
+	}
+	if err := q.Push(obsAt(0, 1)); err != nil {
+		t.Fatalf("within-capacity push after refusal = %v, want nil", err)
+	}
+}
+
+// TestQueueStaleServedOnNextRead: arrivals behind the read frontier are
+// held and delivered with the next read, ahead of the bucket's own
+// records, for the pipeline's late-record quarantine to reject.
+func TestQueueStaleServedOnNextRead(t *testing.T) {
+	q := newIngestQueue(0, true)
+	q.SealThrough(0)
+	if _, err := q.ObservationsAt(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(obsAt(0, 2)); err != nil { // behind the frontier now
+		t.Fatal(err)
+	}
+	if err := q.Push(obsAt(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q.SealThrough(1)
+	got, err := q.ObservationsAt(context.Background(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Bucket != 0 || got[1].Bucket != 0 || got[2].Bucket != 1 {
+		t.Fatalf("read = %+v, want the 2 stale bucket-0 records then the bucket-1 record", got)
+	}
+	if pending, _ := q.Depth(); pending != 0 {
+		t.Fatalf("depth after drain = %d, want 0", pending)
+	}
+}
+
+// TestQueueSkippedBucketsDiscarded: reads with non-decreasing buckets
+// discard what the reader skipped (warmup subsampling), like a
+// streaming replay.
+func TestQueueSkippedBucketsDiscarded(t *testing.T) {
+	q := newIngestQueue(0, true)
+	for b := netmodel.Bucket(0); b < 4; b++ {
+		if err := q.Push(obsAt(b, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.SealThrough(3)
+	if _, err := q.ObservationsAt(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.ObservationsAt(context.Background(), 3, nil)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("read bucket 3 = %d records, %v; want 2, nil", len(got), err)
+	}
+	if d := q.Discarded(); d != 4 {
+		t.Fatalf("discarded = %d, want 4 (buckets 1 and 2)", d)
+	}
+}
+
+// TestQueueCloseDrains: after Close, awaitBucket keeps reporting work
+// while queued or stale records remain at or past the bucket, then
+// reports the drain complete; Push fails with ErrClosed.
+func TestQueueCloseDrains(t *testing.T) {
+	q := newIngestQueue(0, true)
+	if err := q.Push(obsAt(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push(obsAt(3, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close = %v, want ErrClosed", err)
+	}
+	ctx := context.Background()
+	for _, b := range []netmodel.Bucket{0, 1, 2} {
+		if !q.awaitBucket(ctx, b) {
+			t.Fatalf("awaitBucket(%d) = false with bucket 2 still queued", b)
+		}
+		if _, err := q.ObservationsAt(ctx, b, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.awaitBucket(ctx, 3) {
+		t.Fatal("awaitBucket(3) = true after the backlog drained")
+	}
+}
+
+// TestQueueContextCancellation: a cancelled context unblocks waiting
+// reads with the context error and awaitBucket with false.
+func TestQueueContextCancellation(t *testing.T) {
+	q := newIngestQueue(0, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.ObservationsAt(ctx, 0, nil)
+		errc <- err
+	}()
+	okc := make(chan bool, 1)
+	go func() { okc <- q.awaitBucket(ctx, 0) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked read returned %v, want context.Canceled", err)
+	}
+	if ok := <-okc; ok {
+		t.Fatal("awaitBucket = true after cancellation")
+	}
+}

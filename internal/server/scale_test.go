@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"blameit/internal/trace"
+)
+
+// TestServiceMillionRecordBucket: the daemon must sustain a bucket of a
+// million records delivered over HTTP — the paper's hundreds-of-billions
+// -per-day scale collapsed onto one 5-minute bucket — with exact
+// accounting: every record either survives into the step or is counted
+// in the quarantine, and the window still localizes and reports.
+func TestServiceMillionRecordBucket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-record ingest in -short mode")
+	}
+	const target = 1_000_000
+	e := newTestEnv(t, nil)
+	obs := e.bucketObs(0)
+	unique := len(obs)
+	if unique == 0 {
+		t.Fatal("bucket 0 generated no observations")
+	}
+
+	// Tile the bucket's observation set up to a million records: repeats
+	// beyond the first occurrence are (prefix, cloud, device) duplicates,
+	// which the pipeline's quarantine must count — ingestion-path volume
+	// is what this test loads, not unique quartets.
+	var body bytes.Buffer
+	if err := trace.WriteJSONL(&body, obs); err != nil {
+		t.Fatal(err)
+	}
+	tile := append([]byte(nil), body.Bytes()...)
+	total := unique
+	const batchBytes = 8 << 20
+	start := time.Now()
+	flush := func() {
+		if body.Len() == 0 {
+			return
+		}
+		postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", body.Bytes())
+		body.Reset()
+	}
+	for total < target {
+		body.Write(tile)
+		total += unique
+		if body.Len() >= batchBytes {
+			flush()
+		}
+	}
+	flush()
+	elapsed := time.Since(start)
+
+	e.seal(t, 0)
+	e.shutdown(t) // steps bucket 0, flushes the window, surfaces any backend error
+
+	_, h := e.health(t)
+	if h.Ingested != int64(total) {
+		t.Fatalf("ingested = %d, want %d", h.Ingested, total)
+	}
+	q := e.srv.Pipeline().Quarantine()
+	if dups := q.Total(); dups != int64(total-unique) {
+		t.Fatalf("quarantined = %d (%s), want %d duplicates", dups, q, total-unique)
+	}
+	if status, _ := e.get(t, "/v1/reports/0"); status != http.StatusOK {
+		t.Fatalf("GET /v1/reports/0 = %d, want 200 after the drain", status)
+	}
+	t.Logf("ingested %d records over HTTP in %v (%.0f records/sec)",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+}

@@ -1,0 +1,346 @@
+// Package server is blameitd: the BlameIt pipeline stood up as a
+// long-running HTTP service with a frontend/backend split, mirroring the
+// production shape of Fig. 7 — collection at the edge, an ingestion tier,
+// and a periodic localization job over the sealed buckets.
+//
+// The frontend accepts JSONL observation batches on POST /v1/ingest
+// (decoded by the same alloc-free canonical scanner the batch replay path
+// uses), with bounded request bodies and queue backpressure. The backend
+// is one worker goroutine that owns the pipeline — which is not safe for
+// concurrent use and never needs to be — and steps it bucket by bucket as
+// buckets seal in the ingest queue. Because the backend drives the very
+// same WarmupContext/StepContext entry points the batch CLI drives, and
+// reads through the same ingest.ObservationSource seam, a trace replayed
+// over HTTP produces reports byte-identical to `blameit -replay` over the
+// same file.
+//
+// Read APIs: GET /v1/verdicts (localizations across retained reports),
+// GET /v1/reports and /v1/reports/{bucket} (canonical report JSON),
+// GET /healthz (fed by the latest Report.Health), and GET /metrics (the
+// pipeline registry's JSON snapshot).
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"blameit/internal/ingest"
+	"blameit/internal/metrics"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+)
+
+// Config assembles the service tunables around an embedded pipeline
+// configuration.
+type Config struct {
+	// Pipeline configures the backend's localization pipeline.
+	Pipeline pipeline.Config
+	// WarmupBuckets is how many leading buckets feed expected-RTT learning
+	// before the step loop starts (the batch CLI's warmup days). 0 starts
+	// localizing immediately with empty thresholds.
+	WarmupBuckets netmodel.Bucket
+	// MaxBatchBytes bounds one ingest request body; larger bodies get 413.
+	// 0 takes DefaultMaxBatchBytes.
+	MaxBatchBytes int64
+	// MaxPendingRecords bounds the ingest queue; a batch that would exceed
+	// it gets 429 until the backend drains. 0 takes
+	// DefaultMaxPendingRecords; negative is invalid.
+	MaxPendingRecords int
+	// MaxReports bounds the retained report log (oldest evicted first).
+	// 0 takes DefaultMaxReports; negative is invalid.
+	MaxReports int
+	// ManualSeal disables the streaming watermark: buckets seal only via
+	// POST /v1/seal (or shutdown drain), never implicitly by the arrival
+	// of later-bucket records. Use it when concurrent collectors deliver
+	// buckets out of order.
+	ManualSeal bool
+}
+
+// Defaults for the zero-valued Config fields.
+const (
+	DefaultMaxBatchBytes     = 32 << 20
+	DefaultMaxPendingRecords = 4 << 20
+	DefaultMaxReports        = 4096
+)
+
+// Validate rejects configurations with no meaningful interpretation.
+func (c Config) Validate() error {
+	switch {
+	case c.WarmupBuckets < 0:
+		return fmt.Errorf("server: WarmupBuckets %d must be >= 0", c.WarmupBuckets)
+	case c.MaxBatchBytes < 0:
+		return fmt.Errorf("server: MaxBatchBytes %d must be >= 0 (0 = default)", c.MaxBatchBytes)
+	case c.MaxPendingRecords < 0:
+		return fmt.Errorf("server: MaxPendingRecords %d must be >= 0 (0 = default)", c.MaxPendingRecords)
+	case c.MaxReports < 0:
+		return fmt.Errorf("server: MaxReports %d must be >= 0 (0 = default)", c.MaxReports)
+	}
+	return c.Pipeline.Validate()
+}
+
+// DefaultConfig returns the production-like service configuration.
+func DefaultConfig() Config {
+	return Config{
+		Pipeline:      pipeline.DefaultConfig(),
+		WarmupBuckets: netmodel.BucketsPerDay,
+	}
+}
+
+// storedReport is one retained report with its canonical rendering
+// computed once at publish time.
+type storedReport struct {
+	seq       int64
+	rep       *pipeline.Report
+	canonical []byte
+}
+
+// reportLog retains the most recent reports for the read APIs.
+type reportLog struct {
+	mu      sync.Mutex
+	reports []storedReport
+	nextSeq int64
+	max     int
+}
+
+func (l *reportLog) add(rep *pipeline.Report, canonical []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = append(l.reports, storedReport{seq: l.nextSeq, rep: rep, canonical: canonical})
+	l.nextSeq++
+	if l.max > 0 && len(l.reports) > l.max {
+		n := copy(l.reports, l.reports[len(l.reports)-l.max:])
+		for i := n; i < len(l.reports); i++ {
+			l.reports[i] = storedReport{}
+		}
+		l.reports = l.reports[:n]
+	}
+}
+
+// snapshot returns the retained reports, oldest first.
+func (l *reportLog) snapshot() []storedReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]storedReport, len(l.reports))
+	copy(out, l.reports)
+	return out
+}
+
+// byBucket returns the retained report whose window covers b.
+func (l *reportLog) byBucket(b netmodel.Bucket) (storedReport, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.reports {
+		if r := l.reports[i]; r.rep.From <= b && b <= r.rep.To {
+			return r, true
+		}
+	}
+	return storedReport{}, false
+}
+
+// latest returns the most recent report.
+func (l *reportLog) latest() (storedReport, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.reports) == 0 {
+		return storedReport{}, false
+	}
+	return l.reports[len(l.reports)-1], true
+}
+
+func (l *reportLog) count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Server is the assembled daemon: an HTTP frontend over the ingest queue
+// and one backend worker driving the pipeline. Create it with New, serve
+// Handler() on any net/http server (or httptest), and stop it with
+// Shutdown.
+type Server struct {
+	cfg  Config
+	pipe *pipeline.Pipeline
+	q    *ingestQueue
+	reg  *metrics.Registry
+	mux  *http.ServeMux
+
+	reports reportLog
+
+	// frontQuar collects records the FRONTEND refuses — undecodable lines
+	// of salvage-mode batches — before they ever reach the queue. The
+	// backend's quarantine (pipeline.Quarantine) handles late, corrupt,
+	// and duplicate records at step time; both report into the same
+	// ingest.quarantine.* counters. Guarded by frontMu: handlers run
+	// concurrently and Quarantine is single-goroutine.
+	frontMu   sync.Mutex
+	frontQuar *ingest.Quarantine
+
+	mBatches    *metrics.Counter
+	mRecords    *metrics.Counter
+	mRejected   *metrics.Counter
+	mOversized  *metrics.Counter
+	mBackpress  *metrics.Counter
+	mSeals      *metrics.Counter
+	gQueueDepth *metrics.Gauge
+	mReportsPub *metrics.Counter
+
+	bctx     context.Context
+	bcancel  context.CancelFunc
+	done     chan struct{}
+	draining atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+// New assembles a server over the pipeline's external dependencies and
+// starts the backend worker. deps.Source must be nil: the server installs
+// its ingest queue as the pipeline's observation source — that seam is the
+// whole point of the daemon. World, Table, and Prober are required, as for
+// pipeline.New.
+func New(deps pipeline.Deps, cfg Config) (*Server, error) {
+	if deps.Source != nil {
+		return nil, fmt.Errorf("server: deps.Source must be nil; the server feeds the pipeline from its HTTP ingest queue")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxBatchBytes == 0 {
+		cfg.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if cfg.MaxPendingRecords == 0 {
+		cfg.MaxPendingRecords = DefaultMaxPendingRecords
+	}
+	if cfg.MaxReports == 0 {
+		cfg.MaxReports = DefaultMaxReports
+	}
+	s := &Server{
+		cfg:  cfg,
+		q:    newIngestQueue(cfg.MaxPendingRecords, cfg.ManualSeal),
+		done: make(chan struct{}),
+	}
+	deps.Source = s.q
+	s.pipe = pipeline.New(deps, cfg.Pipeline)
+	s.reg = s.pipe.Metrics
+	s.reports.max = cfg.MaxReports
+	s.frontQuar = ingest.NewQuarantine(netmodel.PrefixID(len(deps.World.Prefixes)), len(deps.World.Clouds))
+	s.frontQuar.SetMetrics(s.reg)
+	s.mBatches = s.reg.Counter("server.ingest.batches")
+	s.mRecords = s.reg.Counter("server.ingest.records")
+	s.mRejected = s.reg.Counter("server.ingest.rejected_batches")
+	s.mOversized = s.reg.Counter("server.ingest.oversized")
+	s.mBackpress = s.reg.Counter("server.ingest.backpressure")
+	s.mSeals = s.reg.Counter("server.seal.requests")
+	s.gQueueDepth = s.reg.Gauge("server.ingest.queue_depth")
+	s.mReportsPub = s.reg.Counter("server.reports.published")
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.bctx, s.bcancel = context.WithCancel(context.Background())
+	go s.run()
+	return s, nil
+}
+
+// Handler returns the frontend's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pipeline exposes the backend pipeline for inspection (tests, the CLI's
+// exit summary). The backend goroutine owns its mutable state; read it
+// only after Shutdown has returned.
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// Reports returns how many reports the backend has published.
+func (s *Server) Reports() int64 { return s.reports.count() }
+
+// Err returns the backend's terminal error, if it failed.
+func (s *Server) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func (s *Server) setErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// run is the backend worker: learn over the warmup buckets, then step the
+// pipeline once per sealed bucket until the queue drains, publishing each
+// job report. It is the batch CLI's warmup+run loop inverted — the loop no
+// longer pulls buckets toward a fixed horizon; the queue's seals push it
+// forward.
+func (s *Server) run() {
+	defer close(s.done)
+	ctx := s.bctx
+	if s.cfg.WarmupBuckets > 0 {
+		if err := s.pipe.WarmupContext(ctx, 0, s.cfg.WarmupBuckets); err != nil {
+			s.setErr(fmt.Errorf("server: warmup: %w", err))
+			return
+		}
+	} else {
+		s.pipe.SetThresholds(s.pipe.Learner.Snapshot())
+	}
+	for b := s.cfg.WarmupBuckets; ; b++ {
+		if !s.q.awaitBucket(ctx, b) {
+			break
+		}
+		rep, err := s.pipe.StepContext(ctx, b)
+		if err != nil {
+			s.setErr(fmt.Errorf("server: step bucket %d: %w", b, err))
+			return
+		}
+		s.publish(rep)
+		pending, _ := s.q.Depth()
+		s.gQueueDepth.Set(int64(pending))
+	}
+	if err := ctx.Err(); err != nil {
+		s.setErr(err)
+		return
+	}
+	// Drain complete: flush the partial window so the records of a run
+	// that stopped off the job cadence still get localized and reported.
+	rep, err := s.pipe.FinalizeContext(context.Background())
+	if err != nil {
+		s.setErr(fmt.Errorf("server: finalize: %w", err))
+		return
+	}
+	s.publish(rep)
+}
+
+// publish renders and retains one report. A nil report (a step between job
+// runs) is a no-op.
+func (s *Server) publish(rep *pipeline.Report) {
+	if rep == nil {
+		return
+	}
+	canonical, err := rep.CanonicalJSON()
+	if err != nil {
+		s.setErr(fmt.Errorf("server: canonicalize report [%d, %d]: %w", rep.From, rep.To, err))
+		return
+	}
+	s.reports.add(rep, canonical)
+	s.mReportsPub.Inc()
+}
+
+// Shutdown drains the daemon gracefully: ingestion stops (new batches get
+// 503), every bucket already queued is stepped, the in-flight window is
+// flushed as a final report, and the backend exits. If ctx expires first,
+// the backend is cancelled hard. Returns the backend's terminal error
+// (nil after a clean drain).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.Close()
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		s.bcancel()
+		<-s.done
+	}
+	s.bcancel()
+	return s.Err()
+}
