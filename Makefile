@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
+.PHONY: all build vet test race chaos fleet fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
 
 all: verify
 
@@ -18,7 +18,7 @@ test:
 # split) plus the localizer they call concurrently and the ingestion
 # layer the pipeline reads through, under the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/... ./internal/fleet/...
 
 # The headline robustness gate: a 7-day A/B run under the heavy chaos
 # profile (20% probe failures, 5% corrupt records, bursty late delivery)
@@ -26,6 +26,13 @@ race:
 # accounted for and no wrong localizations.
 chaos:
 	$(GO) test -race -run TestChaosEndToEnd -count=1 -timeout 10m ./internal/chaos/
+
+# The edge-aggregation gates: the fleet-vs-centralized byte-equivalence
+# property at several agent counts plus the 7-day fleet chaos run
+# (loss/lag/churn/duplication with exact delivery books and zero wrong
+# localizations), both under the race detector.
+fleet:
+	$(GO) test -race -run 'TestFleet' -count=1 -timeout 10m ./internal/fleet/
 
 # Short fuzzing sweeps over every decoder and invariant-bearing routine
 # with a registered fuzz target (the corpora in testdata/fuzz grow as CI

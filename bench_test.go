@@ -184,9 +184,9 @@ func BenchmarkFigure10DurationByCategory(b *testing.B) {
 		e := benchEnv(3, true)
 		_, res = experiments.Figure10DurationByCategory(e, 1, 2)
 	}
-	b.ReportMetric(float64(len(res.Durations[core.BlameCloud])), "cloud-incidents")
-	b.ReportMetric(float64(len(res.Durations[core.BlameMiddle])), "middle-incidents")
-	b.ReportMetric(float64(len(res.Durations[core.BlameClient])), "client-incidents")
+	b.ReportMetric(float64(res.Incidents(core.BlameCloud)), "cloud-incidents")
+	b.ReportMetric(float64(res.Incidents(core.BlameMiddle)), "middle-incidents")
+	b.ReportMetric(float64(res.Incidents(core.BlameClient)), "client-incidents")
 }
 
 // BenchmarkCaseStudies replays the five §6.3 case studies (paper: all

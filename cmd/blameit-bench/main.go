@@ -29,11 +29,14 @@ import (
 	"time"
 
 	"blameit/internal/bgp"
+	"blameit/internal/chaos"
 	"blameit/internal/core"
 	"blameit/internal/faults"
+	"blameit/internal/fleet"
 	"blameit/internal/ingest"
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
+	"blameit/internal/probe"
 	"blameit/internal/quartet"
 	"blameit/internal/sim"
 	"blameit/internal/stats"
@@ -54,13 +57,13 @@ const benchSeed = 42
 // landed. It ships inside every emitted file so a single BENCH document
 // carries both ends of the trajectory.
 type Baseline struct {
-	RecordedAt                 string  `json:"recorded_at"`
-	StreamReplayRecordsPerSec  float64 `json:"stream_replay_records_per_sec"`
-	StreamReplayAllocsPerRec   float64 `json:"stream_replay_allocs_per_record"`
-	StoreBackedRecordsPerSec   float64 `json:"store_backed_records_per_sec"`
-	LiveSimRecordsPerSec       float64 `json:"live_sim_records_per_sec"`
-	Algorithm1JobWallMS        float64 `json:"algorithm1_job_wall_ms"`
-	PipelineDayWallMS          float64 `json:"pipeline_day_wall_ms"`
+	RecordedAt                string  `json:"recorded_at"`
+	StreamReplayRecordsPerSec float64 `json:"stream_replay_records_per_sec"`
+	StreamReplayAllocsPerRec  float64 `json:"stream_replay_allocs_per_record"`
+	StoreBackedRecordsPerSec  float64 `json:"store_backed_records_per_sec"`
+	LiveSimRecordsPerSec      float64 `json:"live_sim_records_per_sec"`
+	Algorithm1JobWallMS       float64 `json:"algorithm1_job_wall_ms"`
+	PipelineDayWallMS         float64 `json:"pipeline_day_wall_ms"`
 }
 
 // baseline holds the numbers measured immediately before the optimization
@@ -126,6 +129,22 @@ type Doc struct {
 	Algorithm1Quartets     int      `json:"algorithm1_quartets"`
 	PipelineDayWallMS      float64  `json:"pipeline_day_wall_ms"`
 	PipelineJobs           JobStats `json:"pipeline_jobs"`
+
+	// AggregateMerge pins the edge-aggregation fold: one loaded bucket's
+	// per-agent partials merged into a recycled aggregate and flattened
+	// back to cells, the collector's per-bucket hot path.
+	AggregateMerge struct {
+		Partials       int     `json:"partials"`
+		Cells          int     `json:"cells"`
+		MergesPerSec   float64 `json:"merges_per_sec"`
+		NSPerMerge     float64 `json:"ns_per_merge"`
+		AllocsPerMerge float64 `json:"allocs_per_merge"`
+	} `json:"aggregate_merge"`
+	// FleetDayWallMS is PipelineDayWallMS's counterpart with the feed
+	// routed through a FleetAgents-strong edge fleet (perfect delivery):
+	// the end-to-end cost of pre-aggregating at the edge.
+	FleetDayWallMS float64 `json:"fleet_day_wall_ms"`
+	FleetAgents    int     `json:"fleet_agents"`
 
 	Baseline Baseline `json:"baseline"`
 }
@@ -296,6 +315,37 @@ func main() {
 	doc.Algorithm1JobWallMS = float64(ra.NsPerOp()) / 1e6
 	doc.Algorithm1Quartets = len(qs)
 
+	// Aggregate merge: fold the same loaded bucket's per-agent partials
+	// into a recycled aggregate, as the collector does every bucket.
+	fmt.Fprintln(os.Stderr, "bench: aggregate merge")
+	const benchAgents = 16
+	fl := fleet.New(s, benchAgents)
+	parts := make([]*quartet.Partial, 0, benchAgents)
+	cellCount := 0
+	for _, ag := range fl.Agents {
+		part := ag.Collect(qb)
+		parts = append(parts, part)
+		cellCount += len(part.Cells)
+	}
+	agg := quartet.NewAggregate(qb)
+	rm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			agg.Reset(qb)
+			for _, part := range parts {
+				agg.Add(part)
+			}
+			_ = agg.Cells()
+		}
+	})
+	doc.AggregateMerge.Partials = len(parts)
+	doc.AggregateMerge.Cells = cellCount
+	if perOp := float64(rm.NsPerOp()); perOp > 0 && len(parts) > 0 {
+		doc.AggregateMerge.MergesPerSec = float64(len(parts)) / (perOp / 1e9)
+		doc.AggregateMerge.NSPerMerge = perOp / float64(len(parts))
+		doc.AggregateMerge.AllocsPerMerge = float64(rm.AllocsPerOp()) / float64(len(parts))
+	}
+
 	// Full pipeline day (warmup day + evaluated day), with per-job wall
 	// times folded into a bounded-memory streaming summary.
 	fmt.Fprintln(os.Stderr, "bench: pipeline day")
@@ -321,6 +371,29 @@ func main() {
 	doc.PipelineJobs = JobStats{
 		Jobs: sum.N, MeanMS: sum.Mean, P50MS: sum.P50, P90MS: sum.P90, MaxMS: sum.Max,
 	}
+
+	// The same day with the feed routed through an edge fleet: the
+	// delta against pipeline_day_wall_ms is the aggregation overhead.
+	fmt.Fprintln(os.Stderr, "bench: fleet day")
+	fsim := benchSim()
+	fcfg := pipeline.DefaultConfig()
+	fstart := time.Now()
+	fp := pipeline.New(pipeline.Deps{
+		World:      fsim.World,
+		Table:      fsim.Routes,
+		Aggregates: fleet.NewCollector(fleet.New(fsim, benchAgents), chaos.Config{Seed: 1}),
+		Prober:     probe.NewEngine(fsim, fcfg.ProbeNoiseMS),
+	}, fcfg)
+	if err := fp.Warmup(0, netmodel.BucketsPerDay); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := fp.Run(netmodel.BucketsPerDay, 2*netmodel.BucketsPerDay, func(rep *pipeline.Report) {}); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	doc.FleetDayWallMS = float64(time.Since(fstart)) / 1e6
+	doc.FleetAgents = benchAgents
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -8,7 +8,7 @@
 //	blameit-tracegen [-scale small|medium|large] [-seed N] [-days N]
 //	                 [-faults random|none] [-level quartet|sample]
 //	                 [-workers N] [-metrics] [-o FILE]
-//	                 [-post URL] [-batch N] [-seal=true]
+//	                 [-post URL] [-batch N] [-seal=true] [-fleet N]
 //
 // At -level quartet (default) each line is one aggregated quartet
 // observation; at -level sample each line is one raw handshake record with
@@ -21,6 +21,15 @@
 // localizes everything:
 //
 //	blameit-tracegen -scale medium -days 2 -post http://localhost:7031
+//
+// -fleet N switches the feed to an edge-aggregating agent fleet: the
+// prefix space splits across N agents, each pre-aggregates its slice of
+// every bucket into a quartet partial, and the records become aggregate
+// cells (POSTed to URL/v1/aggregates in -post mode, written as AggCell
+// JSONL otherwise). The daemon merges the partials back into per-bucket
+// aggregates, so the reports are byte-identical to the raw feed's:
+//
+//	blameit-tracegen -scale medium -days 2 -fleet 8 -post http://localhost:7031
 package main
 
 import (
@@ -40,6 +49,8 @@ import (
 
 	"blameit/internal/bgp"
 	"blameit/internal/faults"
+	"blameit/internal/fleet"
+	"blameit/internal/ingest"
 	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/sim"
@@ -55,6 +66,7 @@ import (
 type poster struct {
 	ctx          context.Context
 	base         string
+	path         string
 	client       *http.Client
 	buf          bytes.Buffer
 	n            int
@@ -65,10 +77,13 @@ type poster struct {
 	retries int64
 }
 
-func newPoster(ctx context.Context, base string, batchRecords int) *poster {
+// newPoster builds a load generator against one ingestion path —
+// "/v1/ingest" for raw observations, "/v1/aggregates" for fleet cells.
+func newPoster(ctx context.Context, base, path string, batchRecords int) *poster {
 	return &poster{
 		ctx:          ctx,
 		base:         base,
+		path:         path,
 		client:       &http.Client{Timeout: 60 * time.Second},
 		batchRecords: batchRecords,
 	}
@@ -86,6 +101,20 @@ func (p *poster) add(obs []trace.Observation) error {
 	return nil
 }
 
+// addAgg appends one partial's aggregate cells. The whole partial lands
+// in one body — the aggregate endpoint's contract — because flushes only
+// happen between add calls.
+func (p *poster) addAgg(cells []ingest.AggCell) error {
+	if err := ingest.WriteAggJSONL(&p.buf, cells); err != nil {
+		return err
+	}
+	p.n += len(cells)
+	if p.n >= p.batchRecords {
+		return p.flush()
+	}
+	return nil
+}
+
 // flush POSTs the pending batch, retrying backpressure until ctx dies.
 func (p *poster) flush() error {
 	if p.n == 0 {
@@ -94,7 +123,7 @@ func (p *poster) flush() error {
 	body := p.buf.Bytes()
 	backoff := 50 * time.Millisecond
 	for {
-		req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, p.base+"/v1/ingest", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(p.ctx, http.MethodPost, p.base+p.path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
@@ -168,6 +197,7 @@ func main() {
 		postURL     = flag.String("post", "", "replay the trace over HTTP into a blameitd at this base URL instead of writing it (quartet level only)")
 		batchSize   = flag.Int("batch", 5000, "records per POST batch in -post mode")
 		sealFinal   = flag.Bool("seal", true, "in -post mode, seal the final bucket after the replay so the daemon localizes it")
+		fleetN      = flag.Int("fleet", 0, "pre-aggregate at the edge with N fleet agents and emit aggregate cells instead of raw observations (quartet level only)")
 	)
 	flag.Parse()
 
@@ -223,14 +253,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -post supports only -level quartet (the daemon ingests quartet observations)")
 		os.Exit(1)
 	}
+	if *fleetN > 0 && *level != "quartet" {
+		fmt.Fprintln(os.Stderr, "tracegen: -fleet supports only -level quartet (agents pre-aggregate quartet observations)")
+		os.Exit(1)
+	}
 
 	var written int64
-	switch *level {
-	case "quartet":
+	switch {
+	case *level == "quartet" && *fleetN > 0:
+		fl := fleet.New(s, *fleetN)
+		sink := func(cells []ingest.AggCell) error { return ingest.WriteAggJSONL(out, cells) }
+		var p *poster
+		if *postURL != "" {
+			p = newPoster(ctx, *postURL, "/v1/aggregates", *batchSize)
+			sink = p.addAgg
+		}
+		start := time.Now()
+		var cells []ingest.AggCell
+		for b := netmodel.Bucket(0); b < horizon && ctx.Err() == nil; b++ {
+			for _, ag := range fl.Agents {
+				cells = ingest.AggCellsOf(ag.Collect(b), cells[:0])
+				if err := sink(cells); err != nil {
+					fmt.Fprintln(os.Stderr, "tracegen:", err)
+					os.Exit(1)
+				}
+				written += int64(len(cells))
+			}
+		}
+		if p != nil {
+			err := p.flush()
+			if err == nil && *sealFinal && ctx.Err() == nil {
+				err = p.seal(horizon - 1)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(start).Seconds()
+			rate := float64(p.posted)
+			if elapsed > 0 {
+				rate /= elapsed
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: replayed %d aggregate cells from %d agents over HTTP in %d batches (%.0f cells/sec, %d backpressure retries)\n",
+				p.posted, len(fl.Agents), p.batches, rate, p.retries)
+		}
+	case *level == "quartet":
 		sink := func(obs []trace.Observation) error { return trace.WriteJSONL(out, obs) }
 		var p *poster
 		if *postURL != "" {
-			p = newPoster(ctx, *postURL, *batchSize)
+			p = newPoster(ctx, *postURL, "/v1/ingest", *batchSize)
 			sink = p.add
 		}
 		start := time.Now()
@@ -260,7 +331,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracegen: replayed %d records over HTTP in %d batches (%.0f records/sec, %d backpressure retries)\n",
 				p.posted, p.batches, rate, p.retries)
 		}
-	case "sample":
+	case *level == "sample":
 		enc := json.NewEncoder(out)
 		var buf []trace.Sample
 		for b := netmodel.Bucket(0); b < horizon && ctx.Err() == nil; b++ {
@@ -277,7 +348,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown level %q (quartet|sample)\n", *level)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "tracegen: wrote %d %s records over %d day(s), %d faults\n", written, *level, *days, len(fs))
+	kind := *level
+	if *fleetN > 0 {
+		kind = fmt.Sprintf("aggregate-cell (%d-agent fleet)", *fleetN)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d %s records over %d day(s), %d faults\n", written, kind, *days, len(fs))
 	if *dumpMetrics {
 		// Metrics go to stderr so the trace stream on stdout stays clean.
 		if err := reg.Snapshot().WriteJSON(os.Stderr); err != nil {

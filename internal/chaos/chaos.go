@@ -58,6 +58,13 @@ type Config struct {
 	// batch (the quarantine deduplicates it).
 	DuplicateProb float64
 
+	// AgentChurnProb restarts a fleet agent before it delivers a bucket's
+	// partial aggregate: the partial is lost, the agent's epoch bumps and
+	// its sequence counter restarts (exercising epoch-scoped dedup). Only
+	// the fleet delivery layer reads it; the observation Source ignores
+	// it, so raw-path chaos runs are untouched.
+	AgentChurnProb float64
+
 	// ProbeFailProb fails one traceroute attempt (per attempt, so a
 	// retrying caller usually recovers).
 	ProbeFailProb float64
@@ -70,7 +77,7 @@ type Config struct {
 func (c Config) Enabled() bool {
 	return c.DropBatchProb > 0 || c.TransientErrProb > 0 || c.CorruptProb > 0 ||
 		c.LateProb > 0 || c.LateBurstProb > 0 || c.DuplicateProb > 0 ||
-		c.ProbeFailProb > 0 || c.TruncateProb > 0
+		c.AgentChurnProb > 0 || c.ProbeFailProb > 0 || c.TruncateProb > 0
 }
 
 // Validate rejects rates outside [0, 1] and a nonsensical delay bound.
@@ -92,6 +99,7 @@ func (c Config) Validate() error {
 		{"LateBurstProb", c.LateBurstProb},
 		{"LateBurstFrac", c.LateBurstFrac},
 		{"DuplicateProb", c.DuplicateProb},
+		{"AgentChurnProb", c.AgentChurnProb},
 		{"ProbeFailProb", c.ProbeFailProb},
 		{"TruncateProb", c.TruncateProb},
 	} {
@@ -118,6 +126,7 @@ func Light(seed int64) Config {
 		LateBurstProb:    0.01,
 		LateBurstFrac:    0.25,
 		DuplicateProb:    0.005,
+		AgentChurnProb:   0.002,
 		ProbeFailProb:    0.05,
 		TruncateProb:     0.01,
 	}
@@ -137,6 +146,7 @@ func Heavy(seed int64) Config {
 		LateBurstProb:    0.05,
 		LateBurstFrac:    0.5,
 		DuplicateProb:    0.02,
+		AgentChurnProb:   0.01,
 		ProbeFailProb:    0.20,
 		TruncateProb:     0.05,
 	}
@@ -185,6 +195,25 @@ func hash64(seed int64, tag string, parts ...int64) uint64 {
 
 // roll converts a hash into a uniform probability in [0, 1).
 func roll(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Decider is the seeded deterministic dice every injector in this package
+// rolls, exported for fault layers built outside it (the fleet delivery
+// fabric). Each fault class hashes under its own tag, so deciders sharing
+// a seed make independent decisions per class.
+type Decider struct {
+	Seed int64
+}
+
+// Hash mixes the seed, a fault-class tag, and the decision's identity
+// into a uniform 64-bit value.
+func (d Decider) Hash(tag string, parts ...int64) uint64 {
+	return hash64(d.Seed, tag, parts...)
+}
+
+// Roll returns the decision's uniform draw in [0, 1).
+func (d Decider) Roll(tag string, parts ...int64) float64 {
+	return roll(hash64(d.Seed, tag, parts...))
+}
 
 // SourceStats counts what the chaos source injected, cumulatively.
 type SourceStats struct {

@@ -199,10 +199,20 @@ func Fig9Schedule(e *Env, warmupDays int, seed int64) []faults.Fault {
 	return fs
 }
 
-// Fig10Result carries incident durations split by blame category.
+// Fig10Result carries incident durations split by blame category. Like
+// Fig4aResult, the per-category aggregators are bounded-memory: exact
+// integer duration counts plus a P² streaming sketch per category, no
+// retained per-incident samples.
 type Fig10Result struct {
-	Durations map[core.Blame][]float64 // buckets
+	// Counts[cat][d] is the number of cat-blamed incidents lasting
+	// exactly d consecutive 5-min buckets.
+	Counts map[core.Blame]map[int]int
+	// Exact summarizes Counts[cat]; Streamed is the matching P² sketch.
+	Exact, Streamed map[core.Blame]stats.Summary
 }
+
+// Incidents returns the incident count of one category.
+func (r Fig10Result) Incidents(cat core.Blame) int { return r.Exact[cat].N }
 
 // Figure10DurationByCategory tracks how long cloud, middle and client
 // issues last (Fig. 10): per ⟨prefix, cloud, device⟩ tuple, consecutive
@@ -218,7 +228,7 @@ func Figure10DurationByCategory(e *Env, warmupDays, days int) (*Figure, Fig10Res
 		votes  map[core.Blame]int
 	}
 	open := make(map[quartet.Key]*run)
-	res := Fig10Result{Durations: make(map[core.Blame][]float64)}
+	dists := make(map[core.Blame]*durationDist)
 	closeRun := func(r *run) {
 		best, bestN := core.BlameNone, -1
 		for cat, n := range r.votes {
@@ -226,7 +236,12 @@ func Figure10DurationByCategory(e *Env, warmupDays, days int) (*Figure, Fig10Res
 				best, bestN = cat, n
 			}
 		}
-		res.Durations[best] = append(res.Durations[best], float64(r.length))
+		dd := dists[best]
+		if dd == nil {
+			dd = newDurationDist()
+			dists[best] = dd
+		}
+		dd.add(r.length)
 	}
 	p.Run(warmupEnd, warmupEnd+netmodel.Bucket(days*netmodel.BucketsPerDay), func(rep *pipeline.Report) {
 		// Collect this window's bad keys with their blame votes, bucket by
@@ -266,24 +281,29 @@ func Figure10DurationByCategory(e *Env, warmupDays, days int) (*Figure, Fig10Res
 		closeRun(r)
 	}
 
+	res := Fig10Result{
+		Counts:   make(map[core.Blame]map[int]int),
+		Exact:    make(map[core.Blame]stats.Summary),
+		Streamed: make(map[core.Blame]stats.Summary),
+	}
 	fig := &Figure{
 		ID:     "Figure10",
 		Title:  "Duration of cloud, middle and client segment issues",
 		XLabel: "consecutive 5-min buckets",
 		YLabel: "CDF",
 	}
+	for cat, dd := range dists {
+		res.Counts[cat] = dd.counts
+		res.Exact[cat] = dd.exactSummary()
+		res.Streamed[cat] = dd.stream.Summary()
+	}
 	for _, cat := range []core.Blame{core.BlameCloud, core.BlameMiddle, core.BlameClient} {
-		ds := res.Durations[cat]
-		if len(ds) == 0 {
+		dd := dists[cat]
+		if dd == nil || dd.n == 0 {
 			continue
 		}
-		cdf := stats.NewCDF(ds)
-		s := Series{Name: cat.String()}
-		for _, pt := range cdf.Points(30) {
-			s.X = append(s.X, pt[0])
-			s.Y = append(s.Y, pt[1])
-		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, dd.cdfSeries(cat.String()))
+		fig.Notes = append(fig.Notes, dd.sketchNote(cat.String()))
 	}
 	return fig, res
 }

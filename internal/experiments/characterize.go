@@ -182,11 +182,20 @@ func Figure3Diurnal(e *Env) (*Figure, Fig3Result) {
 	return fig, res
 }
 
-// Fig4aResult summarizes badness persistence.
+// Fig4aResult summarizes badness persistence. The aggregator is
+// bounded-memory: instead of one retained sample per incident it keeps
+// the integer duration distribution (support capped by the horizon) plus
+// a P² streaming sketch, and reports both summaries.
 type Fig4aResult struct {
-	Durations     []float64 // run lengths in 5-min buckets
-	FracOneBucket float64   // <= 5 minutes
-	FracOver2h    float64   // > 24 buckets
+	N             int     // incidents
+	FracOneBucket float64 // <= 5 minutes
+	FracOver2h    float64 // > 24 buckets
+	// DurationCounts[d] is the number of incidents lasting exactly d
+	// consecutive 5-min buckets.
+	DurationCounts map[int]int
+	// Exact is the summary of DurationCounts; Streamed is the P² sketch
+	// fed the same stream. They agree within sketch tolerance.
+	Exact, Streamed stats.Summary
 }
 
 // Figure4aPersistence measures how long bad-RTT incidents last (Fig. 4a):
@@ -206,37 +215,33 @@ func Figure4aPersistence(e *Env, fromDay, toDay int) (*Figure, Fig4aResult) {
 		}
 		tr.Advance(b, bad)
 	}
-	incs := tr.Flush()
-	var res Fig4aResult
-	res.Durations = quartet.Durations(incs)
+	dd := newDurationDist()
 	var one, long int
-	for _, d := range res.Durations {
-		if d <= 1 {
+	for _, inc := range tr.Flush() {
+		dd.add(inc.Buckets)
+		if inc.Buckets <= 1 {
 			one++
 		}
-		if d > 24 {
+		if inc.Buckets > 24 {
 			long++
 		}
 	}
-	if len(res.Durations) > 0 {
-		res.FracOneBucket = float64(one) / float64(len(res.Durations))
-		res.FracOver2h = float64(long) / float64(len(res.Durations))
+	res := Fig4aResult{N: dd.n, DurationCounts: dd.counts}
+	if dd.n > 0 {
+		res.FracOneBucket = float64(one) / float64(dd.n)
+		res.FracOver2h = float64(long) / float64(dd.n)
 	}
-	cdf := stats.NewCDF(res.Durations)
-	var s Series
-	s.Name = "persistence CDF"
-	for _, pt := range cdf.Points(40) {
-		s.X = append(s.X, pt[0])
-		s.Y = append(s.Y, pt[1])
-	}
+	res.Exact = dd.exactSummary()
+	res.Streamed = dd.stream.Summary()
 	fig := &Figure{
 		ID:     "Figure4a",
 		Title:  "Persistence of bad RTT incidents (consecutive 5-min buckets)",
 		XLabel: "number of 5-min buckets",
 		YLabel: "CDF",
-		Series: []Series{s},
+		Series: []Series{dd.cdfSeries("persistence CDF")},
 		Notes: []string{
 			fmt.Sprintf("%.0f%% of incidents last one bucket (<=5 min); %.1f%% exceed 2 hours (paper: >60%% and ~8%%)", res.FracOneBucket*100, res.FracOver2h*100),
+			dd.sketchNote("duration quantiles"),
 		},
 	}
 	return fig, res

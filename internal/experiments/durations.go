@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"blameit/internal/stats"
+)
+
+// durationDist aggregates incident run lengths without retaining one
+// sample per incident (the ROADMAP item 2 leftover). Memory is bounded
+// two ways: the exact integer-valued distribution lives in a counts map
+// whose support is capped by the horizon (an incident cannot outlast the
+// evaluated window), and the quantile sketch is a P² StreamingSummary in
+// O(1). The counts keep the figure CDFs exact; the sketch is what an
+// unbounded deployment would report, and the tests pin the two together.
+type durationDist struct {
+	counts map[int]int
+	n      int
+	sum    float64
+	stream *stats.StreamingSummary
+}
+
+func newDurationDist() *durationDist {
+	return &durationDist{counts: make(map[int]int), stream: stats.NewStreamingSummary()}
+}
+
+// add records one incident of d consecutive buckets.
+func (dd *durationDist) add(d int) {
+	dd.counts[d]++
+	dd.n++
+	dd.sum += float64(d)
+	dd.stream.Add(float64(d))
+}
+
+// sortedKeys returns the distinct durations ascending.
+func (dd *durationDist) sortedKeys() []int {
+	keys := make([]int, 0, len(dd.counts))
+	for d := range dd.counts {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// exactSummary computes the same Summary stats.Summarize would return for
+// the expanded sample, directly from the counts (interpolated order
+// statistics, never materializing n values).
+func (dd *durationDist) exactSummary() stats.Summary {
+	if dd.n == 0 {
+		return stats.Summary{}
+	}
+	keys := dd.sortedKeys()
+	// valueAt(i) is the i'th order statistic of the expanded sample.
+	valueAt := func(i int) float64 {
+		cum := 0
+		for _, d := range keys {
+			cum += dd.counts[d]
+			if i < cum {
+				return float64(d)
+			}
+		}
+		return float64(keys[len(keys)-1])
+	}
+	quantile := func(q float64) float64 {
+		if dd.n == 1 || q <= 0 {
+			return valueAt(0)
+		}
+		if q >= 1 {
+			return valueAt(dd.n - 1)
+		}
+		pos := q * float64(dd.n-1)
+		lo := int(pos)
+		a := valueAt(lo)
+		b := valueAt(lo + 1)
+		v := a + (pos-float64(lo))*(b-a)
+		if v < a {
+			v = a
+		} else if v > b {
+			v = b
+		}
+		return v
+	}
+	return stats.Summary{
+		N:    dd.n,
+		Mean: dd.sum / float64(dd.n),
+		Min:  float64(keys[0]),
+		Max:  float64(keys[len(keys)-1]),
+		P10:  quantile(0.10),
+		P50:  quantile(0.50),
+		P90:  quantile(0.90),
+		P99:  quantile(0.99),
+	}
+}
+
+// cdfSeries renders the exact empirical CDF, one point per distinct
+// duration.
+func (dd *durationDist) cdfSeries(name string) Series {
+	s := Series{Name: name}
+	cum := 0
+	for _, d := range dd.sortedKeys() {
+		cum += dd.counts[d]
+		s.X = append(s.X, float64(d))
+		s.Y = append(s.Y, float64(cum)/float64(dd.n))
+	}
+	return s
+}
+
+// sketchNote renders the exact-vs-sketch quantile agreement for a note.
+func (dd *durationDist) sketchNote(label string) string {
+	ex, st := dd.exactSummary(), dd.stream.Summary()
+	return fmt.Sprintf("%s: p50 %.1f (sketch %.1f), p99 %.1f (sketch %.1f) over %d incidents",
+		label, ex.P50, st.P50, ex.P99, st.P99, dd.n)
+}

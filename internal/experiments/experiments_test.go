@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"blameit/internal/bgp"
 	"blameit/internal/core"
 	"blameit/internal/faults"
 	"blameit/internal/netmodel"
+	"blameit/internal/stats"
 	"blameit/internal/topology"
 )
 
@@ -98,7 +100,7 @@ func TestFigure3Shape(t *testing.T) {
 func TestFigure4aShape(t *testing.T) {
 	e := smallEnvWithRandomFaults(2, 11)
 	_, res := Figure4aPersistence(e, 1, 2)
-	if len(res.Durations) == 0 {
+	if res.N == 0 {
 		t.Fatal("no incidents")
 	}
 	if res.FracOneBucket < 0.4 {
@@ -107,7 +109,47 @@ func TestFigure4aShape(t *testing.T) {
 	if res.FracOver2h > 0.2 {
 		t.Errorf("long-tail fraction = %v, too heavy", res.FracOver2h)
 	}
-	t.Logf("fig4a: 1-bucket=%.2f >2h=%.3f n=%d", res.FracOneBucket, res.FracOver2h, len(res.Durations))
+	total := 0
+	for d, c := range res.DurationCounts {
+		if d < 1 || c < 1 {
+			t.Fatalf("nonsense duration count %d x %d", d, c)
+		}
+		total += c
+	}
+	if total != res.N {
+		t.Fatalf("duration counts sum to %d, want %d incidents", total, res.N)
+	}
+	assertSketchClose(t, "fig4a durations", res.Exact, res.Streamed)
+	t.Logf("fig4a: 1-bucket=%.2f >2h=%.3f n=%d exact=%v streamed=%v",
+		res.FracOneBucket, res.FracOver2h, res.N, res.Exact, res.Streamed)
+}
+
+// assertSketchClose pins a P² streamed summary to the exact summary of
+// the same stream: count/min/max/mean are exact by construction, the
+// quantile estimates must land within sketch tolerance.
+func assertSketchClose(t *testing.T, what string, exact, streamed stats.Summary) {
+	t.Helper()
+	if streamed.N != exact.N || streamed.Min != exact.Min || streamed.Max != exact.Max {
+		t.Errorf("%s: streamed n/min/max (%d/%v/%v) != exact (%d/%v/%v)",
+			what, streamed.N, streamed.Min, streamed.Max, exact.N, exact.Min, exact.Max)
+	}
+	if math.Abs(streamed.Mean-exact.Mean) > 1e-9*(1+math.Abs(exact.Mean)) {
+		t.Errorf("%s: streamed mean %v != exact %v", what, streamed.Mean, exact.Mean)
+	}
+	for _, q := range []struct {
+		name          string
+		exact, sketch float64
+	}{
+		{"p10", exact.P10, streamed.P10},
+		{"p50", exact.P50, streamed.P50},
+		{"p90", exact.P90, streamed.P90},
+		{"p99", exact.P99, streamed.P99},
+	} {
+		tol := math.Max(1.5, 0.35*q.exact)
+		if math.Abs(q.sketch-q.exact) > tol {
+			t.Errorf("%s %s: sketch %v vs exact %v (tolerance %v)", what, q.name, q.sketch, q.exact, tol)
+		}
+	}
 }
 
 func TestFigure4bShape(t *testing.T) {
@@ -206,14 +248,22 @@ func TestFigure10Shape(t *testing.T) {
 	e := NewEnv(EnvConfig{Scale: topology.SmallScale(), Seed: 42, Days: 3, Churn: bgp.DefaultChurnConfig(), Faults: fs.Faults})
 	_, res := Figure10DurationByCategory(e, 1, 2)
 	total := 0
-	for _, ds := range res.Durations {
-		total += len(ds)
+	for cat, counts := range res.Counts {
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		if n != res.Incidents(cat) {
+			t.Fatalf("%v counts sum to %d, want %d incidents", cat, n, res.Incidents(cat))
+		}
+		total += n
+		assertSketchClose(t, "fig10 "+cat.String(), res.Exact[cat], res.Streamed[cat])
 	}
 	if total == 0 {
 		t.Fatal("no incidents")
 	}
 	t.Logf("fig10 incident counts: cloud=%d middle=%d client=%d",
-		len(res.Durations[core.BlameCloud]), len(res.Durations[core.BlameMiddle]), len(res.Durations[core.BlameClient]))
+		res.Incidents(core.BlameCloud), res.Incidents(core.BlameMiddle), res.Incidents(core.BlameClient))
 }
 
 func TestRunCasesFiveScenarios(t *testing.T) {

@@ -230,16 +230,34 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 	})
 }
 
+// AggregateSource delivers one bucket's merged quartet aggregate — the
+// edge-aggregated alternative to a raw ObservationSource. Implementations
+// (a fleet collector merging per-agent partials, the blameitd aggregate
+// endpoint) own the returned aggregate; the pipeline reads its canonical
+// cells during the call and never retains it. A nil aggregate means the
+// bucket delivered nothing. Errors follow the ObservationSource contract:
+// ingest.TransientError values are retried per Config.SourceRetries,
+// anything else is fatal.
+type AggregateSource interface {
+	AggregatesAt(ctx context.Context, b netmodel.Bucket) (*quartet.Aggregate, error)
+}
+
 // Deps are the pipeline's external dependencies: the topology and routing
-// views shared with the telemetry backends, the passive observation source,
+// views shared with the telemetry backends, the passive telemetry feed,
 // the active-phase prober, and optionally the storage layer behind the
-// source (for §6.1 scan-cost accounting). World, Table, Source, and Prober
-// are required.
+// source (for §6.1 scan-cost accounting). World, Table, and Prober are
+// required, plus exactly one telemetry feed: a raw observation Source or
+// an Aggregates source of merged edge partials. Either way Step classifies
+// from merged aggregate cells — a raw Source just goes through the
+// trivial one-agent aggregation first.
 type Deps struct {
 	World  *topology.World
 	Table  *bgp.Table
 	Source ingest.ObservationSource
-	Prober probe.Prober
+	// Aggregates feeds the pipeline pre-merged edge aggregates instead of
+	// raw observations. Mutually exclusive with Source.
+	Aggregates AggregateSource
+	Prober     probe.Prober
 	// Store, when non-nil, is the ingestion store the Source reads through;
 	// the pipeline exposes it for scan-cost reporting but never bypasses
 	// the Source to reach it.
@@ -276,8 +294,11 @@ type Pipeline struct {
 	Cfg   Config
 
 	// Source feeds the passive phase; Prober serves the active phase.
-	Source ingest.ObservationSource
-	Prober probe.Prober
+	// Aggregates replaces Source when the feed is pre-merged edge
+	// partials (exactly one of the two is set).
+	Source     ingest.ObservationSource
+	Aggregates AggregateSource
+	Prober     probe.Prober
 	// Store is the ingestion store behind Source, when there is one (nil
 	// for direct live or streaming sources). Read-only accounting.
 	Store *trace.Store
@@ -319,6 +340,15 @@ type Pipeline struct {
 	windowFrom   netmodel.Bucket
 	windowPrimed bool
 	obsBuf       []trace.Observation
+
+	// agg is the per-bucket merged aggregate Step classifies from. Both
+	// feeds converge on it: the validated observation stream of the bucket
+	// (raw reads after quarantine, or the reconstruction of an upstream
+	// merged aggregate, re-validated the same way) is folded into aggPart,
+	// the trivial one-agent aggregation, and agg holds exactly that
+	// partial. Both are recycled across buckets.
+	agg     *quartet.Aggregate
+	aggPart *quartet.Partial
 
 	// Metric handles (fetched once in New; nil-safe no-ops never occur
 	// here since the pipeline always has a registry).
@@ -363,8 +393,11 @@ type Pipeline struct {
 // topology works, which is what lets blameit -replay re-run a recorded
 // trace. Use NewSim for the conventional live wiring.
 func New(deps Deps, cfg Config) *Pipeline {
-	if deps.World == nil || deps.Table == nil || deps.Source == nil || deps.Prober == nil {
-		panic("pipeline: Deps.World, Table, Source, and Prober are all required")
+	if deps.World == nil || deps.Table == nil || deps.Prober == nil {
+		panic("pipeline: Deps.World, Table, and Prober are all required")
+	}
+	if (deps.Source == nil) == (deps.Aggregates == nil) {
+		panic("pipeline: exactly one of Deps.Source and Deps.Aggregates is required")
 	}
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -393,22 +426,28 @@ func New(deps Deps, cfg Config) *Pipeline {
 		}
 	}
 	p := &Pipeline{
-		World:     deps.World,
-		Table:     deps.Table,
-		Cfg:       cfg,
-		Source:    deps.Source,
-		Prober:    pr,
-		Store:     deps.Store,
-		Metrics:   reg,
-		Learner:   core.NewLearner(),
-		Durations: predict.NewDurationPredictor(3),
-		Clients:   predict.NewClientPredictor(),
-		Alerter:   alerting.NewAlerter(cfg.TopNAlerts),
+		World:      deps.World,
+		Table:      deps.Table,
+		Cfg:        cfg,
+		Source:     deps.Source,
+		Aggregates: deps.Aggregates,
+		Prober:     pr,
+		Store:      deps.Store,
+		Metrics:    reg,
+		Learner:    core.NewLearner(),
+		Durations:  predict.NewDurationPredictor(3),
+		Clients:    predict.NewClientPredictor(),
+		Alerter:    alerting.NewAlerter(cfg.TopNAlerts),
+		agg:        quartet.NewAggregate(0),
+		aggPart:    quartet.NewPartial(quartet.PartialID{}, 0),
 	}
 	if m, ok := p.Prober.(interface{ SetMetrics(*metrics.Registry) }); ok {
 		m.SetMetrics(reg)
 	}
 	if m, ok := p.Source.(interface{ SetMetrics(*metrics.Registry) }); ok {
+		m.SetMetrics(reg)
+	}
+	if m, ok := p.Aggregates.(interface{ SetMetrics(*metrics.Registry) }); ok {
 		m.SetMetrics(reg)
 	}
 	p.quar = ingest.NewQuarantine(netmodel.PrefixID(len(deps.World.Prefixes)), len(deps.World.Clouds))
@@ -468,13 +507,14 @@ func (p *Pipeline) WarmupContext(ctx context.Context, from, to netmodel.Bucket) 
 		return fmt.Errorf("pipeline: inverted warmup window [%d, %d)", from, to)
 	}
 	for b := from; b < to; b += netmodel.Bucket(p.Cfg.WarmupSampleEvery) {
-		if err := p.readObservations(ctx, b); err != nil {
+		if err := p.readBucket(ctx, b); err != nil {
 			return err
 		}
-		for _, o := range p.obsBuf {
-			if o.Samples < quartet.MinSamples {
+		for _, c := range p.agg.Cells() {
+			if c.Samples < quartet.MinSamples {
 				continue
 			}
+			o := c.Observation(b)
 			mk := p.PathOf(o.Prefix, o.Cloud, o.Bucket).Key()
 			p.Learner.AddObservation(o.Cloud, mk, o.Device, o.MeanRTT)
 			p.Clients.Record(mk, o.Bucket, o.Clients)
@@ -532,9 +572,11 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 		p.lastSnap = p.Metrics.Snapshot()
 		p.lastSnapPrimed = true
 	}
-	// Passive collection and classification.
+	// Passive collection and aggregation: the bucket's telemetry — raw
+	// records or upstream edge partials — converges on p.agg's merged
+	// cells, which is what classification consumes.
 	collectStart := time.Now()
-	if err := p.readObservations(ctx, b); err != nil {
+	if err := p.readBucket(ctx, b); err != nil {
 		return nil, err
 	}
 	classifyStart := time.Now()
@@ -543,11 +585,12 @@ func (p *Pipeline) StepContext(ctx context.Context, b netmodel.Bucket) (*Report,
 	feedLearner := int(b)%p.Cfg.WarmupSampleEvery == 0
 	run := p.windowRunFor(b)
 	var badKeys []quartet.Key
-	for _, o := range p.obsBuf {
+	for _, c := range p.agg.Cells() {
+		o := c.Observation(b)
 		q := quartet.Classify(o, p.World.TargetFor(o.Prefix, o.Cloud))
 		run.qs = append(run.qs, q)
 		if q.Enough && q.Bad {
-			badKeys = append(badKeys, quartet.KeyOf(o))
+			badKeys = append(badKeys, c.Key)
 		}
 		if q.Enough {
 			mk := p.PathOf(o.Prefix, o.Cloud, b).Key()
@@ -604,19 +647,38 @@ func msSince(from, to time.Time) float64 {
 	return float64(to.Sub(from)) / float64(time.Millisecond)
 }
 
-// readObservations fills p.obsBuf with bucket b's records, validated
-// through the quarantine (late, corrupt, and duplicate records are
-// diverted there instead of reaching the aggregates). Transient source
-// errors are retried up to Cfg.SourceRetries times; when retries run out
-// the bucket is declared dark — counted, records lost, run continues.
-// Fatal errors (cancellation, strict decode failures) propagate.
-func (p *Pipeline) readObservations(ctx context.Context, b netmodel.Bucket) error {
+// readBucket fills p.obsBuf with bucket b's validated observation stream
+// and folds it into p.agg, the merged aggregate Step classifies from.
+//
+// With a raw Source the records are read directly; with an Aggregates
+// feed the upstream merged aggregate's canonical cells are reconstructed
+// into observations first. Either stream then passes through the
+// quarantine (late, corrupt, and duplicate records are diverted there
+// instead of reaching the aggregates — validation always precedes
+// aggregation, so chaos-injected duplicates are quarantined, never
+// silently merged) and the survivors fold into the trivial one-agent
+// aggregation. Transient read errors are retried up to Cfg.SourceRetries
+// times; when retries run out the bucket is declared dark — counted,
+// records lost, run continues. Fatal errors (cancellation, strict decode
+// failures) propagate.
+func (p *Pipeline) readBucket(ctx context.Context, b netmodel.Bucket) error {
 	for attempt := 0; ; attempt++ {
 		var err error
-		p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
+		if p.Aggregates != nil {
+			var agg *quartet.Aggregate
+			agg, err = p.Aggregates.AggregatesAt(ctx, b)
+			if err == nil {
+				p.obsBuf = p.obsBuf[:0]
+				if agg != nil {
+					p.obsBuf = agg.Observations(p.obsBuf)
+				}
+			}
+		} else {
+			p.obsBuf, err = p.Source.ObservationsAt(ctx, b, p.obsBuf[:0])
+		}
 		if err == nil {
 			p.obsBuf = p.quar.Filter(b, p.obsBuf)
-			return nil
+			break
 		}
 		if ctx.Err() != nil || !ingest.IsTransient(err) {
 			return err
@@ -628,7 +690,7 @@ func (p *Pipeline) readObservations(ctx context.Context, b netmodel.Bucket) erro
 			}
 			p.mDarkBuckets.Inc()
 			p.obsBuf = p.obsBuf[:0]
-			return nil
+			break
 		}
 		p.srcRetries++
 		if p.mSourceRetries == nil {
@@ -636,6 +698,16 @@ func (p *Pipeline) readObservations(ctx context.Context, b netmodel.Bucket) erro
 		}
 		p.mSourceRetries.Inc()
 	}
+	// The trivial one-agent aggregation over the validated stream. The
+	// quarantine guarantees per-bucket key uniqueness, so the cells are
+	// exactly the validated observations in canonical order.
+	p.aggPart.Reset(quartet.PartialID{Seq: int64(b)}, b)
+	for _, o := range p.obsBuf {
+		p.aggPart.Observe(o)
+	}
+	p.agg.Reset(b)
+	p.agg.Add(p.aggPart)
+	return nil
 }
 
 // Quarantine exposes the ingestion quarantine for inspection (counts,

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/fleet"
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/quartet"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+	"blameit/internal/trace"
+)
+
+// aggBody flattens partials into one JSONL aggregate batch.
+func aggBody(t *testing.T, parts ...*quartet.Partial) []byte {
+	t.Helper()
+	var cells []ingest.AggCell
+	for _, p := range parts {
+		cells = ingest.AggCellsOf(p, cells)
+	}
+	var buf bytes.Buffer
+	if err := ingest.WriteAggJSONL(&buf, cells); err != nil {
+		t.Fatalf("encoding aggregate cells: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// partialOf pre-aggregates a bucket's observations into one partial.
+func partialOf(id quartet.PartialID, b netmodel.Bucket, obs []trace.Observation) *quartet.Partial {
+	p := quartet.NewPartial(id, b)
+	for _, o := range obs {
+		p.Observe(o)
+	}
+	return p
+}
+
+// TestAggregateIngest exercises the /v1/aggregates endpoint surface:
+// accepted batches report their partial/cell counts, redelivered
+// partials are deduplicated, undecodable lines follow the strict/salvage
+// split, and the books land in the server.aggregates.* counters.
+func TestAggregateIngest(t *testing.T) {
+	e := newTestEnv(t, nil)
+	obs0 := e.bucketObs(0)
+	obs1 := e.bucketObs(1)
+	if len(obs0) == 0 || len(obs1) == 0 {
+		t.Fatal("feed produced empty buckets")
+	}
+	half := len(obs0) / 2
+	p0a := partialOf(quartet.PartialID{Agent: 0, Epoch: 0, Seq: 1}, 0, obs0[:half])
+	p0b := partialOf(quartet.PartialID{Agent: 1, Epoch: 0, Seq: 1}, 0, obs0[half:])
+	p1 := partialOf(quartet.PartialID{Agent: 0, Epoch: 0, Seq: 2}, 1, obs1)
+
+	status, body := e.post(t, "/v1/aggregates", aggBody(t, p0a, p0b))
+	if status != http.StatusAccepted {
+		t.Fatalf("POST /v1/aggregates = %d (%s), want 202", status, body)
+	}
+	// Redelivering agent 0's partial alongside bucket 1 must dedup it.
+	status, body = e.post(t, "/v1/aggregates", aggBody(t, p1, p0a))
+	if status != http.StatusAccepted {
+		t.Fatalf("redelivery POST = %d (%s), want 202", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"deduped":1`)) {
+		t.Errorf("redelivery response %s does not count the deduplicated partial", body)
+	}
+
+	// Strict mode rejects a batch with a mangled line outright...
+	bad := append(aggBody(t, p1), []byte("{\"agent\":notjson}\n")...)
+	if status, _ := e.post(t, "/v1/aggregates", bad); status != http.StatusBadRequest {
+		t.Errorf("strict-mode bad line = %d, want 400", status)
+	}
+	// ...salvage mode quarantines the line and keeps the batch.
+	status, body = e.post(t, "/v1/aggregates?mode=salvage", bad)
+	if status != http.StatusAccepted {
+		t.Fatalf("salvage-mode POST = %d (%s), want 202", status, body)
+	}
+	if !bytes.Contains(body, []byte(`"rejected":1`)) {
+		t.Errorf("salvage response %s does not count the rejected line", body)
+	}
+
+	e.seal(t, 1)
+	waitFor(t, "aggregate buckets stepped", func() bool {
+		_, pushed := e.srv.q.Depth()
+		return pushed > 0 && func() bool { c, _ := e.srv.aggStats(); return c == 0 }()
+	})
+	e.shutdown(t)
+
+	counters, _ := e.metricsSnapshot(t)
+	// Three accepted batches; the strict reject counts separately. The
+	// redeliveries (p0a in batch 2, p1 in the salvage batch) both hit
+	// still-buffered buckets and dedup.
+	wantCounters := map[string]int64{
+		"server.aggregates.batches":          3,
+		"server.aggregates.rejected_batches": 1,
+		"server.aggregates.partials":         3,
+		"server.aggregates.deduped":          2,
+		"server.aggregates.cells":            int64(len(obs0) + half + 2*len(obs1)),
+		"server.aggregates.flushed_records":  int64(len(obs0) + len(obs1)),
+		"ingest.quarantine.malformed":        1,
+	}
+	for name, want := range wantCounters {
+		if got := counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// aggReplaySimFor builds the small-scale aggregate-equivalence workload;
+// each caller gets a fresh instance from the same seeds.
+func aggReplaySimFor(workers int) *sim.Simulator {
+	w := topology.Generate(topology.SmallScale(), 7)
+	fs := faults.Generate(w, faults.DefaultGenerateConfig(), replayHorizon, 8).Faults
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), replayHorizon, 9)
+	scfg := sim.DefaultConfig(10)
+	scfg.Workers = workers
+	return sim.New(w, tbl, faults.NewSchedule(fs), scfg)
+}
+
+// TestServiceAggregateEquivalence is the HTTP leg of the fleet
+// equivalence property: a fleet's per-agent partial batches POSTed to
+// /v1/aggregates in a fully shuffled order — across agents AND buckets,
+// with redelivered duplicates mixed in — must produce reports
+// byte-identical to the batch CLI's run over the same telemetry. Manual
+// sealing holds every bucket open until the end, so arrival order
+// carries no information at all; the canonical merge is what restores
+// the stream.
+func TestServiceAggregateEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aggregate service equivalence in -short mode")
+	}
+	const agents = 4
+
+	// Reference: the batch CLI's live run.
+	cfg := pipeline.DefaultConfig()
+	cfg.Workers = 1
+	p := pipeline.NewSim(aggReplaySimFor(1), cfg)
+	if err := p.Warmup(0, replayWarmup); err != nil {
+		t.Fatalf("batch warmup: %v", err)
+	}
+	var want bytes.Buffer
+	err := p.Run(replayWarmup, replayHorizon, func(rep *pipeline.Report) {
+		buf, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonicalize report: %v", err)
+		}
+		want.Write(buf)
+		want.WriteByte('\n')
+	})
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("batch run produced no reports")
+	}
+
+	// The fleet's batches: one per (agent, bucket) partial.
+	feed := aggReplaySimFor(1)
+	fl := fleet.New(feed, agents)
+	var batches [][]byte
+	for b := netmodel.Bucket(0); b < replayHorizon; b++ {
+		for _, ag := range fl.Agents {
+			batches = append(batches, aggBody(t, ag.Collect(b)))
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	rng.Shuffle(len(batches), func(i, j int) { batches[i], batches[j] = batches[j], batches[i] })
+	// Sprinkle duplicates: every 50th batch is delivered twice.
+	dups := 0
+	for i := 0; i < len(batches); i += 50 {
+		batches = append(batches, batches[i])
+		dups++
+	}
+
+	probeSim := aggReplaySimFor(1)
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Workers = 1
+	srv, err := New(pipeline.Deps{
+		World:  probeSim.World,
+		Table:  probeSim.Routes,
+		Prober: probe.NewEngine(probeSim, pcfg.ProbeNoiseMS),
+	}, Config{
+		Pipeline:      pcfg,
+		WarmupBuckets: replayWarmup,
+		ManualSeal:    true,
+		// The whole run stays buffered until the final seal.
+		MaxPendingRecords: 64 << 20,
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	for _, body := range batches {
+		postWithRetry(t, client, ts.URL+"/v1/aggregates", body)
+	}
+	if status, body := postSeal(t, client, ts.URL, replayHorizon-1); status != 202 {
+		t.Fatalf("seal = %d (%s), want 202", status, body)
+	}
+	e := &testEnv{srv: srv, ts: ts}
+	e.shutdown(t)
+
+	got := collectCanonical(t, client, ts.URL)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("shuffled fleet-over-HTTP reports diverged from the batch run: %d vs %d canonical bytes", len(got), want.Len())
+	}
+	counters, _ := e.metricsSnapshot(t)
+	if got := counters["server.aggregates.deduped"]; got != int64(dups) {
+		t.Errorf("deduped %d redelivered partials, want %d", got, dups)
+	}
+	if got, want := counters["server.aggregates.partials"], int64(len(batches)-dups); got != want {
+		t.Errorf("merged %d partials, want %d", got, want)
+	}
+}

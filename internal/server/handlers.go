@@ -16,6 +16,7 @@ import (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/aggregates", s.handleAggregates)
 	s.mux.HandleFunc("POST /v1/seal", s.handleSeal)
 	s.mux.HandleFunc("GET /v1/verdicts", s.handleVerdicts)
 	s.mux.HandleFunc("GET /v1/reports", s.handleReports)
@@ -132,6 +133,13 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Through < 0 {
 		writeError(w, http.StatusBadRequest, "seal through %d must be >= 0", req.Through)
+		return
+	}
+	// Sealing a bucket completes it for the aggregate feed too: flush the
+	// covered buffered aggregates before the watermark moves past them.
+	if err := s.flushAggregates(req.Through); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "flushing buffered aggregates: %v; retry the seal after the backend drains", err)
 		return
 	}
 	s.q.SealThrough(req.Through)

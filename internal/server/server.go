@@ -26,11 +26,13 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blameit/internal/ingest"
 	"blameit/internal/metrics"
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
+	"blameit/internal/quartet"
 )
 
 // Config assembles the service tunables around an embedded pipeline
@@ -178,14 +180,27 @@ type Server struct {
 	frontMu   sync.Mutex
 	frontQuar *ingest.Quarantine
 
-	mBatches    *metrics.Counter
-	mRecords    *metrics.Counter
-	mRejected   *metrics.Counter
-	mOversized  *metrics.Counter
-	mBackpress  *metrics.Counter
-	mSeals      *metrics.Counter
-	gQueueDepth *metrics.Gauge
-	mReportsPub *metrics.Counter
+	// agg buffers the /v1/aggregates feed's per-bucket merged aggregates
+	// until their buckets complete and flush into the queue. Guarded by
+	// aggMu: handlers run concurrently and quartet.Aggregate is
+	// single-goroutine.
+	aggMu sync.Mutex
+	agg   aggState
+
+	mBatches     *metrics.Counter
+	mRecords     *metrics.Counter
+	mRejected    *metrics.Counter
+	mOversized   *metrics.Counter
+	mBackpress   *metrics.Counter
+	mSeals       *metrics.Counter
+	gQueueDepth  *metrics.Gauge
+	mReportsPub  *metrics.Counter
+	mAggBatches  *metrics.Counter
+	mAggCells    *metrics.Counter
+	mAggPartials *metrics.Counter
+	mAggDeduped  *metrics.Counter
+	mAggFlushed  *metrics.Counter
+	mAggRejected *metrics.Counter
 
 	bctx     context.Context
 	bcancel  context.CancelFunc
@@ -204,6 +219,9 @@ type Server struct {
 func New(deps pipeline.Deps, cfg Config) (*Server, error) {
 	if deps.Source != nil {
 		return nil, fmt.Errorf("server: deps.Source must be nil; the server feeds the pipeline from its HTTP ingest queue")
+	}
+	if deps.Aggregates != nil {
+		return nil, fmt.Errorf("server: deps.Aggregates must be nil; POST /v1/aggregates feeds edge partials through the ingest queue")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -236,6 +254,13 @@ func New(deps pipeline.Deps, cfg Config) (*Server, error) {
 	s.mSeals = s.reg.Counter("server.seal.requests")
 	s.gQueueDepth = s.reg.Gauge("server.ingest.queue_depth")
 	s.mReportsPub = s.reg.Counter("server.reports.published")
+	s.agg.pending = make(map[netmodel.Bucket]*quartet.Aggregate)
+	s.mAggBatches = s.reg.Counter("server.aggregates.batches")
+	s.mAggCells = s.reg.Counter("server.aggregates.cells")
+	s.mAggPartials = s.reg.Counter("server.aggregates.partials")
+	s.mAggDeduped = s.reg.Counter("server.aggregates.deduped")
+	s.mAggFlushed = s.reg.Counter("server.aggregates.flushed_records")
+	s.mAggRejected = s.reg.Counter("server.aggregates.rejected_batches")
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.bctx, s.bcancel = context.WithCancel(context.Background())
@@ -334,6 +359,19 @@ func (s *Server) publish(rep *pipeline.Report) {
 // (nil after a clean drain).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Flush every buffered aggregate bucket before closing the queue, so
+	// a fleet run that never sent a trailing seal still gets its last
+	// buckets localized. Backpressure clears as the backend drains.
+	for {
+		err := s.flushAggregates(netmodel.Bucket(1<<62 - 1))
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
 	s.q.Close()
 	select {
 	case <-s.done:

@@ -418,6 +418,25 @@ func (s *Simulator) ObservationsAt(b netmodel.Bucket, buf []Observation) []Obser
 	return buf
 }
 
+// ObservationsRange generates the observations of prefixes [lo, hi) at a
+// bucket, appending to buf. This is the per-shard walk ObservationsAt
+// parallelizes over, exported for edge agents that own a contiguous slice
+// of the prefix space: an agent fleet whose slices partition [0, len
+// (World.Prefixes)) generates, collectively and in ascending-slice order,
+// exactly the stream ObservationsAt emits.
+func (s *Simulator) ObservationsRange(b netmodel.Bucket, lo, hi int, buf []Observation) []Observation {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := len(s.World.Prefixes); hi > n {
+		hi = n
+	}
+	if hi <= lo {
+		return buf
+	}
+	return s.observationsRange(b, lo, hi, buf)
+}
+
 // observationsRange generates the observations of prefixes [lo, hi) — one
 // shard of the bucket's stream.
 func (s *Simulator) observationsRange(b netmodel.Bucket, lo, hi int, buf []Observation) []Observation {
