@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fleet fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
+.PHONY: all build vet test race chaos fleet multicloud fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
 
 all: verify
 
@@ -18,7 +18,7 @@ test:
 # split) plus the localizer they call concurrently and the ingestion
 # layer the pipeline reads through, under the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/... ./internal/fleet/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/... ./internal/fleet/... ./internal/multicloud/... ./internal/topology/...
 
 # The headline robustness gate: a 7-day A/B run under the heavy chaos
 # profile (20% probe failures, 5% corrupt records, bursty late delivery)
@@ -33,6 +33,13 @@ chaos:
 # localizations), both under the race detector.
 fleet:
 	$(GO) test -race -run 'TestFleet' -count=1 -timeout 10m ./internal/fleet/
+
+# The multi-provider gate: three independent pipelines over one shared
+# internet with seeded transit faults, under the race detector. Must
+# finish with zero cross-provider disagreements on the blamed middle AS
+# and zero blame of another provider's cloud segment.
+multicloud:
+	$(GO) test -race -run TestMulticloud -count=1 -timeout 10m ./internal/multicloud/
 
 # Short fuzzing sweeps over every decoder and invariant-bearing routine
 # with a registered fuzz target (the corpora in testdata/fuzz grow as CI

@@ -408,7 +408,7 @@ func BenchmarkObservationGeneration(b *testing.B) {
 func BenchmarkAlgorithm1(b *testing.B) {
 	e := benchEnv(1, true)
 	qs, _ := e.QuartetsAt(netmodel.Bucket(20*netmodel.BucketsPerHour), nil)
-	loc := core.NewLocalizer(core.DefaultConfig(), e.World.CloudASN,
+	loc := core.NewLocalizer(core.DefaultConfig(), e.World.CloudASN(),
 		func(p netmodel.PrefixID, c netmodel.CloudID, bb netmodel.Bucket) netmodel.Path {
 			return e.Table.PathAtForPrefix(c, p, bb)
 		}, nil)

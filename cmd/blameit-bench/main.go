@@ -303,7 +303,7 @@ func main() {
 	for _, ob := range buf {
 		qs = append(qs, quartet.Classify(ob, s.World.TargetFor(ob.Prefix, ob.Cloud)))
 	}
-	loc := core.NewLocalizer(core.DefaultConfig(), s.World.CloudASN,
+	loc := core.NewLocalizer(core.DefaultConfig(), s.World.CloudASN(),
 		func(p netmodel.PrefixID, c netmodel.CloudID, bb netmodel.Bucket) netmodel.Path {
 			return s.Routes.PathAtForPrefix(c, p, bb)
 		}, nil)

@@ -143,7 +143,7 @@ func TestActiveAtList(t *testing.T) {
 func TestTruth(t *testing.T) {
 	w := testWorld()
 	cloudF := Fault{Kind: CloudFault, Cloud: w.Clouds[0].ID}
-	if gt := cloudF.Truth(w); gt.Segment != netmodel.SegCloud || gt.AS != w.CloudASN {
+	if gt := cloudF.Truth(w); gt.Segment != netmodel.SegCloud || gt.AS != w.CloudASN() {
 		t.Errorf("cloud truth = %+v", gt)
 	}
 	mid := w.Tier1s[0]

@@ -65,12 +65,87 @@ func parseInt(b []byte) (int64, []byte, bool) {
 	return v, b[i:], true
 }
 
-// parseFloat consumes a JSON number. The digits are handed to
-// strconv.ParseFloat through an unsafe no-copy string — ParseFloat neither
-// mutates nor retains its argument — so the conversion is exactly
-// encoding/json's (correctly rounded, round-trip safe) without the
-// per-field allocation.
+// pow10tab holds the powers of ten that are exactly representable in a
+// float64. Dividing an exact integer mantissa (< 2^53) by one of these is
+// a single IEEE operation, so the result is correctly rounded — bit for
+// bit what strconv.ParseFloat computes for the same input (Clinger's
+// fast-path condition).
+var pow10tab = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// parseFloat consumes a JSON number. Fixed-point numbers — the
+// -?d+(.d+)? shape nearly every mean_rtt_ms value takes — are parsed
+// directly: the digits accumulate into an integer mantissa and one
+// correctly-rounded division by a power of ten recovers the value, so the
+// hot path runs no strconv at all. Everything outside the fast path's
+// exactness envelope (exponents, > 18 digits, mantissa ≥ 2^53, > 22
+// fractional digits) falls back to parseFloatSlow, keeping the accepted
+// inputs and every decoded bit identical to strconv's.
 func parseFloat(b []byte) (float64, []byte, bool) {
+	i := 0
+	neg := false
+	if i < len(b) && b[i] == '-' {
+		neg = true
+		i++
+	}
+	intStart := i
+	var mant uint64
+	digits := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		mant = mant*10 + uint64(b[i]-'0')
+		digits++
+		i++
+		if digits > 18 {
+			return parseFloatSlow(b)
+		}
+	}
+	if i == intStart {
+		return parseFloatSlow(b)
+	}
+	frac := 0
+	if i < len(b) && b[i] == '.' {
+		i++
+		fracStart := i
+		for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+			mant = mant*10 + uint64(b[i]-'0')
+			digits++
+			frac++
+			i++
+			if digits > 18 {
+				return parseFloatSlow(b)
+			}
+		}
+		if i == fracStart {
+			return parseFloatSlow(b)
+		}
+	}
+	if mant >= 1<<53 || frac > 22 {
+		return parseFloatSlow(b)
+	}
+	if i < len(b) {
+		switch b[i] {
+		case 'e', 'E', '.', '+', '-':
+			return parseFloatSlow(b)
+		}
+	}
+	f := float64(mant)
+	if frac > 0 {
+		f /= pow10tab[frac]
+	}
+	if neg {
+		f = -f
+	}
+	return f, b[i:], true
+}
+
+// parseFloatSlow is the general case: scan the maximal number-shaped span
+// and hand it to strconv.ParseFloat through an unsafe no-copy string —
+// ParseFloat neither mutates nor retains its argument — so the conversion
+// is exactly encoding/json's (correctly rounded, round-trip safe) without
+// the per-field allocation.
+func parseFloatSlow(b []byte) (float64, []byte, bool) {
 	i := 0
 	for ; i < len(b); i++ {
 		c := b[i]

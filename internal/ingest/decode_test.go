@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"math"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"blameit/internal/netmodel"
@@ -71,12 +72,12 @@ func TestDecodeCanonicalRoundTrip(t *testing.T) {
 // to encoding/json) rather than misparsed, and o must stay untouched.
 func TestDecodeCanonicalFallsBack(t *testing.T) {
 	reject := []string{
-		`{"cloud":1,"prefix":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // reordered
-		`{ "prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // whitespace
-		`{"prefix":"1","cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // quoted number
-		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7,"x":1}`, // extra field
-		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5}`,                   // missing field
-		`{"prefix":1.5,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,     // fractional int
+		`{"cloud":1,"prefix":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,                    // reordered
+		`{ "prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,                   // whitespace
+		`{"prefix":"1","cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,                  // quoted number
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7,"x":1}`,              // extra field
+		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5}`,                                // missing field
+		`{"prefix":1.5,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`,                  // fractional int
 		`{"prefix":99999999999999999999,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7}`, // overflow
 		`{"prefix":1,"cloud":2,"device":0,"bucket":3,"samples":30,"mean_rtt_ms":5,"clients":7} trailing`,
 		`[1,2,3]`,
@@ -109,6 +110,51 @@ func TestDecodeCanonicalFallsBack(t *testing.T) {
 		}
 		if got != want {
 			t.Errorf("line %s: got %+v, want %+v", line, got, want)
+		}
+	}
+}
+
+// TestParseFloatMatchesStrconv pins the fixed-point fast path to strconv
+// bit for bit, straddling every envelope edge: mantissas at and beyond
+// 2^53, 18- and 19-digit runs, deep fractions, negative zero, and the
+// exponent/сompound shapes that must fall back.
+func TestParseFloatMatchesStrconv(t *testing.T) {
+	cases := []string{
+		"0", "-0", "5", "-2.5", "44.125", "55.123456789012345",
+		"9007199254740991", "9007199254740991.0", // 2^53-1: last exact mantissa
+		"9007199254740992", "9007199254740993", // ≥ 2^53: fallback territory
+		"999999999999999999", "1999999999999999999", // 18 and 19 digits
+		"0.1", "0.30000000000000004", "123.4567890123456",
+		"0.0000000000000000000001", "1.00000000000000000000001", // frac 22 and beyond
+		"1e+20", "5e-05", "1.5E3", "1e-308", // exponent forms: fallback
+		"00", "01.5", "+5", // degenerate shapes strconv accepts
+	}
+	for _, s := range cases {
+		in := []byte(s + ",")
+		got, rest, ok := parseFloat(in)
+		want, err := strconv.ParseFloat(s, 64)
+		if (err == nil) != ok {
+			t.Errorf("parseFloat(%q) ok=%v, strconv err=%v", s, ok, err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("parseFloat(%q) = %b, strconv = %b", s, got, want)
+		}
+		if string(rest) != "," {
+			t.Errorf("parseFloat(%q) left %q unconsumed", s, rest)
+		}
+	}
+	// A randomized sweep over the fixed-point shapes the trace writers emit.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		s := strconv.FormatFloat(math.Float64frombits(r.Uint64()>>12|0x3FF0000000000000)*float64(r.Intn(1000)+1), 'f', -1, 64)
+		got, _, ok := parseFloat([]byte(s))
+		want, _ := strconv.ParseFloat(s, 64)
+		if !ok || math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("parseFloat(%q) = %v (ok=%v), strconv = %v", s, got, ok, want)
 		}
 	}
 }

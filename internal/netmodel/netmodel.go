@@ -167,13 +167,21 @@ type Metro struct {
 // CloudID identifies one cloud edge location.
 type CloudID int
 
-// CloudLocation is one of the provider's network edge locations ("cloud
-// locations" in the paper). Clients reach the nearest location via anycast.
+// ProviderID identifies one cloud provider in a multi-provider world.
+// Provider 0 is the "home" provider: a single-provider world contains
+// exactly provider 0 and behaves identically to the historical
+// single-cloud model.
+type ProviderID int
+
+// CloudLocation is one of a provider's network edge locations ("cloud
+// locations" in the paper). Clients reach the provider's nearest location
+// via anycast.
 type CloudLocation struct {
-	ID     CloudID
-	Name   string
-	Metro  MetroID
-	Region Region
+	ID       CloudID
+	Name     string
+	Metro    MetroID
+	Region   Region
+	Provider ProviderID
 }
 
 // PrefixID indexes a client /24 prefix within a World.

@@ -262,6 +262,11 @@ type Deps struct {
 	// the pipeline exposes it for scan-cost reporting but never bypasses
 	// the Source to reach it.
 	Store *trace.Store
+	// Provider selects which of the world's cloud providers this pipeline
+	// operates for: its cloud ASN is the one Algorithm 1 treats as the
+	// cloud segment, and background baselines cover its edge locations.
+	// The zero value is provider 0 — the historical single-provider world.
+	Provider netmodel.ProviderID
 }
 
 // SimDepsRetention is the ingestion-store retention (in hour-long windows)
@@ -292,6 +297,8 @@ type Pipeline struct {
 	World *topology.World
 	Table *bgp.Table
 	Cfg   Config
+	// Provider is the cloud provider this pipeline localizes for.
+	Provider netmodel.ProviderID
 
 	// Source feeds the passive phase; Prober serves the active phase.
 	// Aggregates replaces Source when the feed is pre-merged edge
@@ -399,6 +406,9 @@ func New(deps Deps, cfg Config) *Pipeline {
 	if (deps.Source == nil) == (deps.Aggregates == nil) {
 		panic("pipeline: exactly one of Deps.Source and Deps.Aggregates is required")
 	}
+	if deps.Provider < 0 || int(deps.Provider) >= deps.World.NumProviders() {
+		panic(fmt.Sprintf("pipeline: Deps.Provider %d outside the world's %d providers", deps.Provider, deps.World.NumProviders()))
+	}
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -429,6 +439,7 @@ func New(deps Deps, cfg Config) *Pipeline {
 		World:      deps.World,
 		Table:      deps.Table,
 		Cfg:        cfg,
+		Provider:   deps.Provider,
 		Source:     deps.Source,
 		Aggregates: deps.Aggregates,
 		Prober:     pr,
@@ -472,7 +483,7 @@ func New(deps Deps, cfg Config) *Pipeline {
 	for i := 0; i < 400; i++ {
 		p.Durations.Record("", int(faults.SampleDuration(prior)))
 	}
-	p.Baseliner = probe.NewBaselinerWith(cfg.Background, p.Prober, p.World, p.Table)
+	p.Baseliner = probe.NewBaselinerForProvider(cfg.Background, p.Prober, p.World, p.Table, p.Provider)
 	p.Baseliner.SetMetrics(reg)
 	p.Budget = probe.NewBudget(cfg.BudgetPerCloudPerDay)
 	p.Budget.SetMetrics(reg)
@@ -532,7 +543,7 @@ func (p *Pipeline) SetThresholds(th *core.Thresholds) {
 }
 
 func (p *Pipeline) rebuildPassive() {
-	p.Passive = core.NewLocalizer(p.Cfg.Core, p.World.CloudASN, p.PathOf, p.Thresholds)
+	p.Passive = core.NewLocalizer(p.Cfg.Core, p.World.ProviderASN(p.Provider), p.PathOf, p.Thresholds)
 	p.Passive.SetMetrics(p.Metrics)
 	if p.keyFunc != nil {
 		p.Passive.SetMiddleKeyFunc(p.keyFunc)

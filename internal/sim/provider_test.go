@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"blameit/internal/bgp"
+	"blameit/internal/faults"
+	"blameit/internal/netmodel"
+	"blameit/internal/topology"
+)
+
+// providerRig builds a simulator over a providers-wide small world.
+func providerRig(t testing.TB, providers, workers int) *Simulator {
+	t.Helper()
+	scale := topology.SmallScale()
+	scale.Providers = providers
+	w := topology.Generate(scale, 42)
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), netmodel.BucketsPerDay, 7)
+	cfg := DefaultConfig(99)
+	cfg.Workers = workers
+	return New(w, tbl, faults.NewSchedule(nil), cfg)
+}
+
+// TestProviderZeroStreamEqualsObservationsAt: in a single-provider world,
+// the provider-scoped stream IS the classic stream — the equality the
+// golden and replay fixtures rest on.
+func TestProviderZeroStreamEqualsObservationsAt(t *testing.T) {
+	s := providerRig(t, 1, 1)
+	for b := netmodel.Bucket(0); b < 6; b++ {
+		classic := s.ObservationsAt(b, nil)
+		scoped := s.ObservationsForProvider(0, b, nil)
+		if !reflect.DeepEqual(classic, scoped) {
+			t.Fatalf("bucket %d: ObservationsForProvider(0) diverges from ObservationsAt", b)
+		}
+	}
+}
+
+// TestProviderStreamsDeterministic: each provider's stream is a pure
+// function of (world, seeds, bucket) — two simulators built alike agree,
+// and repeated reads agree with themselves.
+func TestProviderStreamsDeterministic(t *testing.T) {
+	a := providerRig(t, 3, 1)
+	b := providerRig(t, 3, 1)
+	for q := netmodel.ProviderID(0); q < 3; q++ {
+		for bk := netmodel.Bucket(0); bk < 4; bk++ {
+			x := a.ObservationsForProvider(q, bk, nil)
+			y := b.ObservationsForProvider(q, bk, nil)
+			if len(x) == 0 {
+				t.Fatalf("provider %d bucket %d: empty stream", q, bk)
+			}
+			if !reflect.DeepEqual(x, y) {
+				t.Fatalf("provider %d bucket %d: streams differ across identical simulators", q, bk)
+			}
+			if again := a.ObservationsForProvider(q, bk, nil); !reflect.DeepEqual(x, again) {
+				t.Fatalf("provider %d bucket %d: re-read differs", q, bk)
+			}
+		}
+	}
+}
+
+// TestProviderStreamsWorkerInvariance: sharded parallel generation yields
+// byte-identical streams to the sequential path, per provider.
+func TestProviderStreamsWorkerInvariance(t *testing.T) {
+	seq := providerRig(t, 3, 1)
+	par := providerRig(t, 3, 4)
+	for q := netmodel.ProviderID(0); q < 3; q++ {
+		for bk := netmodel.Bucket(0); bk < 3; bk++ {
+			x := seq.ObservationsForProvider(q, bk, nil)
+			y := par.ObservationsForProvider(q, bk, nil)
+			if !reflect.DeepEqual(x, y) {
+				t.Fatalf("provider %d bucket %d: parallel stream differs from sequential", q, bk)
+			}
+		}
+	}
+}
+
+// TestProviderStreamsDistinct: different providers see different
+// measurement noise (independent telemetry) over the same ground truth —
+// their streams must not be identical, and each observation must target
+// the provider's own clouds.
+func TestProviderStreamsDistinct(t *testing.T) {
+	s := providerRig(t, 2, 1)
+	a := s.ObservationsForProvider(0, 0, nil)
+	b := s.ObservationsForProvider(1, 0, nil)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("provider 0 and 1 generated identical streams")
+	}
+	for q, obs := range [][]Observation{a, b} {
+		for _, o := range obs {
+			if got := s.World.ProviderOf(o.Cloud); got != netmodel.ProviderID(q) {
+				t.Fatalf("provider %d observation targets provider %d's cloud %d", q, got, o.Cloud)
+			}
+		}
+	}
+}

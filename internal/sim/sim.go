@@ -363,14 +363,22 @@ func (s *Simulator) MeanRTT(p netmodel.PrefixID, c netmodel.CloudID, b netmodel.
 	return sum + s.ReverseExtra(p, c, b)
 }
 
-// attachmentsAt returns the cloud attachments of a prefix at a bucket,
-// honouring traffic-shift faults (a shifted prefix connects only to the
-// shift target).
+// attachmentsAt returns the provider-0 cloud attachments of a prefix at a
+// bucket, honouring traffic-shift faults (a shifted prefix connects only
+// to the shift target).
 func (s *Simulator) attachmentsAt(p netmodel.PrefixID, b netmodel.Bucket) []topology.CloudAttachment {
-	if target, ok := s.Sched.ShiftTarget(p, b); ok {
+	return s.attachmentsAtFor(0, p, b)
+}
+
+// attachmentsAtFor returns provider q's cloud attachments of a prefix at a
+// bucket. A traffic-shift fault redirects only the traffic of the provider
+// owning the shift-target location; other providers' steering is
+// untouched (their anycast does not follow another cloud's redirection).
+func (s *Simulator) attachmentsAtFor(q netmodel.ProviderID, p netmodel.PrefixID, b netmodel.Bucket) []topology.CloudAttachment {
+	if target, ok := s.Sched.ShiftTarget(p, b); ok && s.World.ProviderOf(target) == q {
 		return []topology.CloudAttachment{{Cloud: target, Weight: 1}}
 	}
-	return s.World.Attachments(p)
+	return s.World.AttachmentsFor(q, p)
 }
 
 // volumeFactor models diurnal connection volume: consumer traffic peaks in
@@ -452,6 +460,69 @@ func (s *Simulator) observationsRange(b netmodel.Bucket, lo, hi int, buf []Obser
 	return buf
 }
 
+// providerStreamSeed derives the measurement-noise seed of provider q's
+// observation stream. Provider 0 keeps the main seed, so its stream is
+// bit-identical to the historical single-provider ObservationsAt. The
+// underlying network reality (MeanRTT: faults, diurnal congestion, drift)
+// stays keyed to the main seed for every provider — independent vantage
+// points sample the same shared internet with independent noise.
+func (s *Simulator) providerStreamSeed(q netmodel.ProviderID) uint64 {
+	if q == 0 {
+		return uint64(s.cfg.Seed)
+	}
+	return mix(uint64(s.cfg.Seed), 0x9c, uint64(q))
+}
+
+// ObservationsForProvider generates provider q's quartet observations of
+// one bucket, appending to buf: the provider's served prefix population,
+// steered to the provider's own edge locations, with provider-specific
+// sampling noise over the shared ground-truth RTTs. For provider 0 of a
+// single-provider world the stream is byte-identical to ObservationsAt.
+//
+// Like ObservationsAt, the population is sharded across cfg.Workers
+// goroutines and the per-shard buffers merge in prefix order, so the
+// stream is identical at any worker count.
+func (s *Simulator) ObservationsForProvider(q netmodel.ProviderID, b netmodel.Bucket, buf []Observation) []Observation {
+	pop := s.World.Population(q)
+	n := len(pop)
+	before := len(buf)
+	workers := parallel.Resolve(s.cfg.Workers)
+	if workers <= 1 || n < minParallelPrefixes {
+		buf = s.observationsPop(q, b, pop, buf)
+		s.mRunsSeq.Inc()
+		s.mObservations.Add(int64(len(buf) - before))
+		return buf
+	}
+	shards := parallel.Shards(n, workers)
+	bufs := s.checkoutObs(len(shards))
+	parallel.ForEach(len(shards), workers, func(i int) {
+		bufs[i] = s.observationsPop(q, b, pop[shards[i].Lo:shards[i].Hi], bufs[i][:0])
+	})
+	for _, sb := range bufs {
+		buf = append(buf, sb...)
+	}
+	s.checkinObs(bufs)
+	s.mRunsParallel.Inc()
+	s.mFanoutMax.SetMax(int64(len(shards)))
+	s.mObservations.Add(int64(len(buf) - before))
+	return buf
+}
+
+// observationsPop generates provider q's observations for one slice of its
+// served population.
+func (s *Simulator) observationsPop(q netmodel.ProviderID, b netmodel.Bucket, pop []netmodel.PrefixID, buf []Observation) []Observation {
+	seed := s.providerStreamSeed(q)
+	for _, pid := range pop {
+		for _, att := range s.attachmentsAtFor(q, pid, b) {
+			o, ok := s.observeSeeded(seed, pid, att.Cloud, att.Weight, b)
+			if ok {
+				buf = append(buf, o)
+			}
+		}
+	}
+	return buf
+}
+
 // checkoutObs hands the caller n per-shard scratch buffers, reusing the
 // cached set when one is available. Concurrent callers that miss the cache
 // simply allocate a fresh set.
@@ -476,10 +547,18 @@ func (s *Simulator) checkinObs(bufs [][]Observation) {
 // a bucket with the given traffic weight. It reports false when no clients
 // connected in the bucket.
 func (s *Simulator) Observe(p netmodel.PrefixID, c netmodel.CloudID, weight float64, b netmodel.Bucket) (Observation, bool) {
+	return s.observeSeeded(uint64(s.cfg.Seed), p, c, weight, b)
+}
+
+// observeSeeded is Observe with an explicit sampling-noise seed: the
+// client-arrival and noise draws hash from it, while the expected RTT and
+// diurnal volume remain functions of the shared world (cfg.Seed). Distinct
+// seeds give distinct providers independent views of the same reality.
+func (s *Simulator) observeSeeded(seed uint64, p netmodel.PrefixID, c netmodel.CloudID, weight float64, b netmodel.Bucket) (Observation, bool) {
 	pref := s.World.Prefixes[p]
-	h1 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 1)
-	h2 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 2)
-	h3 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 3)
+	h1 := mix(seed, uint64(p), uint64(c), uint64(b), 1)
+	h2 := mix(seed, uint64(p), uint64(c), uint64(b), 2)
+	h3 := mix(seed, uint64(p), uint64(c), uint64(b), 3)
 
 	expClients := float64(pref.ActiveClients) * weight * s.volumeFactor(p, b)
 	clients := int(expClients + gauss(h1, h2)*math.Sqrt(expClients)*0.5 + 0.5)
@@ -493,7 +572,7 @@ func (s *Simulator) Observe(p netmodel.PrefixID, c netmodel.CloudID, weight floa
 	mean := s.MeanRTT(p, c, b)
 	// Mean-of-n noise: per-sample sigma shrinks with sqrt(n); the client
 	// mix term does not.
-	h4 := mix(uint64(s.cfg.Seed), uint64(p), uint64(c), uint64(b), 4)
+	h4 := mix(seed, uint64(p), uint64(c), uint64(b), 4)
 	noise := math.Exp(gauss(h2, h3)*s.cfg.NoiseSigma/math.Sqrt(float64(samples)) +
 		gauss(h3, h4)*s.cfg.MixSigma)
 	return Observation{

@@ -254,7 +254,7 @@ func TestDominantInflationCloudFault(t *testing.T) {
 	// Pick a quiet-hour bucket inside the fault to avoid diurnal competition.
 	p := w.Prefixes[0]
 	inf := s.DominantInflation(p.ID, c.ID, 12)
-	if inf.Segment != netmodel.SegCloud || inf.AS != w.CloudASN {
+	if inf.Segment != netmodel.SegCloud || inf.AS != w.CloudASN() {
 		t.Errorf("dominant inflation = %+v, want cloud", inf)
 	}
 	if !inf.Dominant && s.DiurnalClientExtra(p.ID, 12) < 10 {

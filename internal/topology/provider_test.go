@@ -1,0 +1,165 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"blameit/internal/netmodel"
+)
+
+// TestGenerateDeterministicAcrossProviders: the whole multi-provider world
+// is a pure function of (scale, seed).
+func TestGenerateDeterministicAcrossProviders(t *testing.T) {
+	for _, providers := range []int{1, 2, 3} {
+		scale := SmallScale()
+		scale.Providers = providers
+		a := Generate(scale, 42)
+		b := Generate(scale, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("providers=%d: two Generate runs with the same seed differ", providers)
+		}
+	}
+}
+
+// TestProviderZeroInvariance is the invariant the golden/replay fixtures
+// rest on: adding providers must not perturb anything provider 0 owns —
+// its clouds keep their IDs, names, base latencies, per-prefix
+// attachments, and AS-level routes. A 3-provider world is the 1-provider
+// world plus appended edges.
+func TestProviderZeroInvariance(t *testing.T) {
+	one := Generate(SmallScale(), 42)
+	scale := SmallScale()
+	scale.Providers = 3
+	three := Generate(scale, 42)
+
+	if got := three.NumProviders(); got != 3 {
+		t.Fatalf("NumProviders() = %d, want 3", got)
+	}
+	if one.CloudASN() != three.CloudASN() {
+		t.Fatalf("provider-0 cloud ASN changed: %d vs %d", one.CloudASN(), three.CloudASN())
+	}
+	// Provider 0's clouds must be a prefix of the 3-provider cloud list,
+	// byte for byte, and every added cloud must belong to a later provider.
+	if len(three.Clouds) <= len(one.Clouds) {
+		t.Fatalf("3-provider world has %d clouds, 1-provider has %d — extra providers added no edges",
+			len(three.Clouds), len(one.Clouds))
+	}
+	for i, c := range one.Clouds {
+		if !reflect.DeepEqual(c, three.Clouds[i]) {
+			t.Fatalf("cloud %d differs: %+v vs %+v", i, c, three.Clouds[i])
+		}
+		if one.CloudBaseMS[c.ID] != three.CloudBaseMS[c.ID] {
+			t.Fatalf("cloud %d base latency differs: %v vs %v", i, one.CloudBaseMS[c.ID], three.CloudBaseMS[c.ID])
+		}
+	}
+	for _, c := range three.Clouds[len(one.Clouds):] {
+		if c.Provider == 0 {
+			t.Fatalf("appended cloud %d belongs to provider 0", c.ID)
+		}
+	}
+	// The shared fabric is untouched: same ASes (plus the two new provider
+	// identities), same prefixes, same BGP prefixes.
+	if len(three.ASes) != len(one.ASes)+2 {
+		t.Fatalf("AS count %d, want %d (+2 provider identities)", len(three.ASes), len(one.ASes)+2)
+	}
+	for asn, as := range one.ASes {
+		if got, ok := three.ASes[asn]; !ok || !reflect.DeepEqual(as, got) {
+			t.Fatalf("shared AS %d differs: %+v vs %+v", asn, as, got)
+		}
+	}
+	if !reflect.DeepEqual(one.Prefixes, three.Prefixes) {
+		t.Fatal("client prefixes differ between 1- and 3-provider worlds")
+	}
+	if !reflect.DeepEqual(one.BGPPrefixes, three.BGPPrefixes) {
+		t.Fatal("BGP prefixes differ between 1- and 3-provider worlds")
+	}
+	// Provider 0's steering is untouched: identical attachments and
+	// badness targets for every prefix.
+	for _, p := range one.Prefixes {
+		if !reflect.DeepEqual(one.Attachments(p.ID), three.Attachments(p.ID)) {
+			t.Fatalf("prefix %d attachments differ", p.ID)
+		}
+	}
+	// Targets are derived from the provider's served population, which
+	// legitimately shrinks when clients split across providers — so they
+	// need only stay positive, not equal.
+	for reg := netmodel.Region(0); reg < netmodel.Region(netmodel.NumRegions); reg++ {
+		for d := netmodel.DeviceClass(0); d < netmodel.DeviceClass(netmodel.NumDeviceClasses); d++ {
+			if three.Target(reg, d) <= 0 {
+				t.Fatalf("target(%v, %v) = %v, want > 0", reg, d, three.Target(reg, d))
+			}
+		}
+	}
+	// And provider 0's routes: same initial path for every (cloud, BGP
+	// prefix) pair it owns.
+	for _, c := range one.Clouds {
+		for _, bp := range one.BGPPrefixes {
+			if !one.InitialPath(c.ID, bp.ID).Equal(three.InitialPath(c.ID, bp.ID)) {
+				t.Fatalf("initial path (%d, %d) differs", c.ID, bp.ID)
+			}
+		}
+	}
+}
+
+// TestProviderPopulations: every provider serves its own nonempty prefix
+// population; every prefix has a home provider; overlap stays within the
+// configured share's plausible range.
+func TestProviderPopulations(t *testing.T) {
+	scale := SmallScale()
+	scale.Providers = 3
+	w := Generate(scale, 42)
+
+	served := make([]int, len(w.Prefixes))
+	for q := 0; q < 3; q++ {
+		qq := netmodel.ProviderID(q)
+		pop := w.Population(qq)
+		if len(pop) == 0 {
+			t.Fatalf("provider %d serves no prefixes", q)
+		}
+		for _, pid := range pop {
+			served[pid]++
+			if !w.ServedBy(qq, pid) {
+				t.Fatalf("Population(%d) lists prefix %d but ServedBy disagrees", q, pid)
+			}
+			if len(w.AttachmentsFor(qq, pid)) == 0 {
+				t.Fatalf("provider %d serves prefix %d with no attachments", q, pid)
+			}
+			for _, att := range w.AttachmentsFor(qq, pid) {
+				if w.Clouds[att.Cloud].Provider != qq {
+					t.Fatalf("provider %d steers prefix %d to provider %d's cloud %d",
+						q, pid, w.Clouds[att.Cloud].Provider, att.Cloud)
+				}
+			}
+		}
+	}
+	for pid, n := range served {
+		if n == 0 {
+			t.Fatalf("prefix %d has no serving provider", pid)
+		}
+	}
+	// Provider 0 of a single-provider world serves everything.
+	if pop := Generate(SmallScale(), 42).Population(0); len(pop) != len(w.Prefixes) {
+		t.Fatalf("1-provider world serves %d/%d prefixes", len(pop), len(w.Prefixes))
+	}
+}
+
+// TestProviderASNsDisjoint: provider cloud ASNs collide with no tier-1,
+// transit, or eyeball AS at the maximum provider count.
+func TestProviderASNsDisjoint(t *testing.T) {
+	scale := SmallScale()
+	scale.Providers = MaxProviders
+	w := Generate(scale, 42)
+	for q := 0; q < MaxProviders; q++ {
+		asn := w.ProviderASN(netmodel.ProviderID(q))
+		as, ok := w.ASes[asn]
+		if !ok {
+			t.Fatalf("provider %d ASN %d missing from the AS map", q, asn)
+		}
+		if as.Type != netmodel.ASCloud {
+			t.Fatalf("provider %d ASN %d registered as %v, want cloud", q, asn, as.Type)
+		}
+		if got, ok := w.ProviderByASN(asn); !ok || got != netmodel.ProviderID(q) {
+			t.Fatalf("ProviderByASN(%d) = %v, %v; want %d, true", asn, got, ok, q)
+		}
+	}
+}

@@ -243,7 +243,7 @@ func TestBaseContributionsStructure(t *testing.T) {
 	if len(contribs) != len(path.Middle)+2 {
 		t.Fatalf("contribution count = %d", len(contribs))
 	}
-	if contribs[0].Segment != netmodel.SegCloud || contribs[0].AS != w.CloudASN {
+	if contribs[0].Segment != netmodel.SegCloud || contribs[0].AS != w.CloudASN() {
 		t.Error("first contribution must be the cloud segment")
 	}
 	last := contribs[len(contribs)-1]
