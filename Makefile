@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos fleet multicloud fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
+.PHONY: all build vet test race chaos crash crash-smoke fleet multicloud fuzz bench-parallel bench-replay bench-json cover serve-smoke verify
 
 all: verify
 
@@ -18,7 +18,24 @@ test:
 # split) plus the localizer they call concurrently and the ingestion
 # layer the pipeline reads through, under the race detector.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/... ./internal/fleet/... ./internal/multicloud/... ./internal/topology/...
+	$(GO) test -race ./internal/sim/... ./internal/pipeline/... ./internal/core/... ./internal/parallel/... ./internal/ingest/... ./internal/trace/... ./internal/probe/... ./internal/chaos/... ./internal/server/... ./internal/wal/... ./internal/fleet/... ./internal/multicloud/... ./internal/topology/...
+
+# The crash-safety gate, under the race detector: every WAL-layer test
+# (framing, torn tails, compaction crash points) plus the service-level
+# kill-injection matrix — 20 seeded in-process crash points, 20 kill -9s
+# against the real binary, the 2-day restart-under-chaos run, and the
+# degraded-disk / corrupt-tail / Retry-After surfaces. Recovery must be
+# byte-identical everywhere.
+crash:
+	$(GO) test -race -count=1 -timeout 20m ./internal/wal/
+	$(GO) test -race -count=1 -timeout 20m -run 'TestWAL|TestRetryAfter|TestCrashRecovery|TestRestartUnderChaos' ./internal/server/
+
+# Shell-level kill -9 proof against real processes and a real disk: feed
+# a WAL-backed blameitd bucket by bucket, SIGKILL it four times, and
+# require the survivor to serve byte-identical reports to an
+# uninterrupted in-memory control.
+crash-smoke:
+	bash scripts/crash_smoke.sh
 
 # The headline robustness gate: a 7-day A/B run under the heavy chaos
 # profile (20% probe failures, 5% corrupt records, bursty late delivery)
@@ -46,6 +63,7 @@ multicloud:
 # finds new inputs).
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzStreamSource -fuzztime 20s ./internal/ingest/
+	$(GO) test -run NONE -fuzz FuzzWALDecode -fuzztime 20s ./internal/wal/
 	$(GO) test -run NONE -fuzz FuzzParseAddr -fuzztime 10s ./internal/ipaddr/
 	$(GO) test -run NONE -fuzz FuzzParsePrefix -fuzztime 10s ./internal/ipaddr/
 	$(GO) test -run NONE -fuzz FuzzContainment -fuzztime 10s ./internal/ipaddr/

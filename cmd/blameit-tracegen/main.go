@@ -77,9 +77,12 @@ type poster struct {
 	n            int
 	batchRecords int
 
-	posted  int64
-	batches int64
-	retries int64
+	posted      int64
+	batches     int64
+	retries     int64
+	resent      int64 // records re-POSTed after a 429
+	serverWaits int64 // 429s whose Retry-After directed the wait
+	waited      time.Duration
 }
 
 // newPoster builds a load generator against one ingestion path —
@@ -142,16 +145,23 @@ func (p *poster) flush() error {
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			p.retries++
+			p.resent += int64(p.n)
+			wait := backoff
 			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				backoff = time.Duration(ra) * time.Second
+				// Honor the server's hint exactly: it derives the wait
+				// from its own queue occupancy, which beats any
+				// client-side guess — no doubling, no cap on top.
+				wait = time.Duration(ra) * time.Second
+				p.serverWaits++
+				backoff = 50 * time.Millisecond
+			} else if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
 			}
+			p.waited += wait
 			select {
 			case <-p.ctx.Done():
 				return p.ctx.Err()
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
+			case <-time.After(wait):
 			}
 			continue
 		case resp.StatusCode/100 != 2:
@@ -163,6 +173,13 @@ func (p *poster) flush() error {
 		p.n = 0
 		return nil
 	}
+}
+
+// summary prints the resend accounting: how much of the feed had to be
+// re-POSTed under backpressure and who decided the waits.
+func (p *poster) summary(unit string) {
+	fmt.Fprintf(os.Stderr, "tracegen: resend accounting: %d retried POSTs re-sent %d %s; %d/%d waits server-directed via Retry-After; %.1fs total backpressure wait\n",
+		p.retries, p.resent, unit, p.serverWaits, p.retries, p.waited.Seconds())
 }
 
 // seal flushes the tail batch and seals the trace's final bucket so the
@@ -321,6 +338,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "tracegen: replayed %d aggregate cells from %d agents over HTTP in %d batches (%.0f cells/sec, %d backpressure retries)\n",
 				p.posted, len(fl.Agents), p.batches, rate, p.retries)
+			p.summary("cells")
 		}
 	case *level == "quartet":
 		sink := func(obs []trace.Observation) error { return trace.WriteJSONL(out, obs) }
@@ -359,6 +377,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "tracegen: replayed %d records over HTTP in %d batches (%.0f records/sec, %d backpressure retries)\n",
 				p.posted, p.batches, rate, p.retries)
+			p.summary("records")
 		}
 	case *level == "sample":
 		enc := json.NewEncoder(out)

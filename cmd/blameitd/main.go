@@ -12,6 +12,15 @@
 //	         [-workload random|none] [-warmup N] [-days N] [-budget N]
 //	         [-top N] [-workers N] [-manual-seal] [-max-batch-mb N]
 //	         [-max-pending N] [-retain-reports N]
+//	         [-data-dir DIR] [-fsync always|interval|off]
+//	         [-fsync-interval-ms N] [-wal-segment-mb N] [-compact-every N]
+//
+// With -data-dir the daemon is crash-safe: ingested buckets and published
+// reports are journaled to a write-ahead log under DIR, and a restart
+// (kill -9 included) replays the journal before serving — /v1/reports
+// comes back byte-identical to an uninterrupted run. The WAL carries a
+// fingerprint of the world and pipeline flags; restarting over the same
+// DIR with different flags refuses to start rather than diverge.
 //
 // The world flags (-scale, -seed, -workload, -warmup, -days) must match
 // the trace producer's, exactly as for `blameit -replay`: the daemon
@@ -32,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +57,7 @@ import (
 	"blameit/internal/server"
 	"blameit/internal/sim"
 	"blameit/internal/topology"
+	"blameit/internal/wal"
 )
 
 type options struct {
@@ -63,6 +74,12 @@ type options struct {
 	maxBatchMB    int
 	maxPending    int
 	retainReports int
+
+	dataDir         string
+	fsyncPolicy     string
+	fsyncIntervalMS int
+	walSegmentMB    int
+	compactEvery    int
 }
 
 func main() {
@@ -80,6 +97,11 @@ func main() {
 	flag.IntVar(&o.maxBatchMB, "max-batch-mb", 32, "largest accepted ingest body in MiB (413 beyond)")
 	flag.IntVar(&o.maxPending, "max-pending", server.DefaultMaxPendingRecords, "ingest queue depth in records (429 beyond)")
 	flag.IntVar(&o.retainReports, "retain-reports", server.DefaultMaxReports, "reports kept for the read APIs (oldest evicted)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "write-ahead log directory; empty runs in-memory only (no crash recovery)")
+	flag.StringVar(&o.fsyncPolicy, "fsync", "interval", "WAL fsync policy: always (power-loss safe), interval, or off")
+	flag.IntVar(&o.fsyncIntervalMS, "fsync-interval-ms", 100, "flush cadence in ms under -fsync interval")
+	flag.IntVar(&o.walSegmentMB, "wal-segment-mb", 64, "WAL segment rotation size in MiB")
+	flag.IntVar(&o.compactEvery, "compact-every", 0, "compact the WAL after every N journaled reports (0 = default, negative = never)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -143,6 +165,23 @@ func run(o options) error {
 		MaxReports:        o.retainReports,
 		ManualSeal:        o.manualSeal,
 	}
+	if o.dataDir != "" {
+		policy, err := wal.ParsePolicy(o.fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		cfg.DataDir = o.dataDir
+		cfg.CompactEveryReports = o.compactEvery
+		cfg.WAL = wal.Config{
+			Fsync:         policy,
+			FsyncInterval: time.Duration(o.fsyncIntervalMS) * time.Millisecond,
+			SegmentBytes:  int64(o.walSegmentMB) << 20,
+			// The fingerprint pins every flag replay determinism depends
+			// on; a mismatched restart refuses to reuse the directory.
+			Meta: fmt.Sprintf("scale=%s seed=%d workload=%s warmup=%d days=%d budget=%d top=%d manual=%v",
+				o.scaleName, o.seed, o.workload, o.warmup, o.days, o.budget, o.topN, o.manualSeal),
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -161,12 +200,25 @@ func run(o options) error {
 	st := w.Stats()
 	fmt.Printf("world: %d clouds, %d metros, %d ASes, %d BGP prefixes, %d /24s, %d active clients\n",
 		st.Clouds, st.Metros, st.ASes, st.BGPPrefixes, st.Prefix24s, st.Clients)
+	if o.dataDir != "" {
+		wh := srv.WALHealth()
+		fmt.Printf("wal: %s (fsync %s); recovered %d buckets, %d reports, %d journaled batches; %d corrupt bytes truncated\n",
+			o.dataDir, o.fsyncPolicy, wh.RecoveredBuckets, wh.RecoveredReports, wh.RecoveredBatches, wh.TruncatedBytes)
+	}
+	// Bind explicitly so -addr :0 works (the harness scripts grab the
+	// printed port) and a taken port fails before the daemon claims to be
+	// up.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return err
+	}
 	fmt.Printf("blameitd listening on %s (warmup %d buckets, job every %d buckets, workload %s over %d days)\n",
-		o.addr, cfg.WarmupBuckets, pcfg.RunEvery, o.workload, o.days)
+		ln.Addr(), cfg.WarmupBuckets, pcfg.RunEvery, o.workload, o.days)
 
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	httpErr := make(chan error, 1)
-	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	go func() { httpErr <- httpSrv.Serve(ln) }()
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

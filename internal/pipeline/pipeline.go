@@ -161,6 +161,13 @@ type Report struct {
 	// the transport, not the verdicts, and a degraded replay of a perfect
 	// recording must still be byte-equivalent.
 	Health Health
+	// Final marks a report produced by Finalize (a drain's partial-window
+	// flush) rather than the job cadence. Excluded from CanonicalJSON —
+	// it describes how the run stopped, not what was observed. Durability
+	// layers use it: a replayed step loop regenerates cadence reports but
+	// not the drain flush, so a journaled final report is restored as-is
+	// and the replayed window discarded (see DiscardWindow).
+	Final bool
 }
 
 // ComponentHealth grades one data-plane component over a job interval.
@@ -228,6 +235,20 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 	return json.Marshal(canonicalReport{
 		From: r.From, To: r.To, Results: r.Results, Verdicts: r.Verdicts, Tickets: r.Tickets,
 	})
+}
+
+// ReportFromCanonical reconstructs a report from its CanonicalJSON bytes.
+// Metrics and Health are zero — the canonical form deliberately excludes
+// them. Restart recovery uses it to restore journaled reports whose
+// windows a replayed step loop does not regenerate (drain flushes).
+func ReportFromCanonical(data []byte) (*Report, error) {
+	var c canonicalReport
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("pipeline: decoding canonical report: %w", err)
+	}
+	return &Report{
+		From: c.From, To: c.To, Results: c.Results, Verdicts: c.Verdicts, Tickets: c.Tickets,
+	}, nil
 }
 
 // AggregateSource delivers one bucket's merged quartet aggregate — the
@@ -885,7 +906,22 @@ func (p *Pipeline) FinalizeContext(ctx context.Context) (*Report, error) {
 	if len(p.window) == 0 {
 		return nil, nil
 	}
-	return p.runJob(ctx, p.window[len(p.window)-1].b)
+	rep, err := p.runJob(ctx, p.window[len(p.window)-1].b)
+	if rep != nil {
+		rep.Final = true
+	}
+	return rep, err
+}
+
+// DiscardWindow drops the partially accumulated job window without
+// running a job over it. Restart recovery calls it after replaying a log
+// whose last journaled report was a drain flush: the replayed steps
+// re-accumulated the very buckets that report already covered, and
+// flushing them again would double-report the window. The next stepped
+// bucket starts a fresh window, exactly as after a real Finalize.
+func (p *Pipeline) DiscardWindow() {
+	p.window = p.window[:0]
+	p.windowPrimed = false
 }
 
 // Flush closes open incident runs at the end of a simulation.

@@ -97,11 +97,18 @@ func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
 	s.aggMu.Lock()
 	queued, _ := s.q.Depth()
 	if s.cfg.MaxPendingRecords > 0 && queued+s.agg.buffered+len(cells) > s.cfg.MaxPendingRecords {
+		occupied := queued + s.agg.buffered
 		s.aggMu.Unlock()
 		s.mBackpress.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterSeconds(occupied, s.cfg.MaxPendingRecords))
 		writeError(w, http.StatusTooManyRequests, "aggregate buffer full (%d records pending); retry after the backend drains", s.cfg.MaxPendingRecords)
 		return
+	}
+	if s.wal != nil {
+		// Journal the accepted cells before they merge: the buffered
+		// aggregate state is reconstructed on restart by replaying these
+		// batches through the same merge path.
+		s.wal.journalAggBatch(cells)
 	}
 	partials, deduped := s.mergeCellsLocked(cells)
 	// Streaming discipline: the highest bucket seen completes everything
@@ -195,6 +202,12 @@ func (s *Server) flushAggLocked(through netmodel.Bucket) error {
 		}
 		delete(s.agg.pending, b)
 		s.agg.buffered -= len(obs)
+		if s.wal != nil {
+			// The bucket's cells left the buffer (the Push above
+			// journaled their reconstruction as a queue batch); the
+			// flush marker stops replay from re-buffering them.
+			s.wal.journalAggFlush(b)
+		}
 		s.mAggFlushed.Add(int64(len(obs)))
 	}
 	// Make the flushed buckets readable even if no raw record for a

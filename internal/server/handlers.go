@@ -38,6 +38,21 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds derives a 429 Retry-After hint from how full the
+// admission budget is: an almost-drained queue invites a quick retry, a
+// full one backs clients off harder. Linear in occupancy, clamped to
+// [1, 8] seconds; a full queue answers 5.
+func retryAfterSeconds(occupied, max int) string {
+	if max <= 0 {
+		return "1"
+	}
+	ra := 1 + 4*occupied/max
+	if ra > 8 {
+		ra = 8
+	}
+	return strconv.Itoa(ra)
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
@@ -94,7 +109,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrBackpressure):
 			s.mBackpress.Inc()
-			w.Header().Set("Retry-After", "1")
+			pending, _ := s.q.Depth()
+			w.Header().Set("Retry-After", retryAfterSeconds(pending, s.cfg.MaxPendingRecords))
 			writeError(w, http.StatusTooManyRequests, "ingest queue full (%d records pending); retry after the backend drains", s.cfg.MaxPendingRecords)
 		default:
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -138,7 +154,8 @@ func (s *Server) handleSeal(w http.ResponseWriter, r *http.Request) {
 	// Sealing a bucket completes it for the aggregate feed too: flush the
 	// covered buffered aggregates before the watermark moves past them.
 	if err := s.flushAggregates(req.Through); err != nil {
-		w.Header().Set("Retry-After", "1")
+		pending, _ := s.q.Depth()
+		w.Header().Set("Retry-After", retryAfterSeconds(pending, s.cfg.MaxPendingRecords))
 		writeError(w, http.StatusTooManyRequests, "flushing buffered aggregates: %v; retry the seal after the backend drains", err)
 		return
 	}
@@ -236,6 +253,9 @@ type healthResponse struct {
 	LastWindowTo *netmodel.Bucket `json:"last_window_to,omitempty"`
 	Health       *pipeline.Health `json:"health,omitempty"`
 	FrontQuar    int64            `json:"frontend_quarantined,omitempty"`
+	// WAL is present only when the daemon runs with a data directory, so
+	// durability-free deployments keep their exact response shape.
+	WAL *WALHealth `json:"wal,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +275,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp.QueueDepth, resp.Ingested = s.q.Depth()
 	resp.Watermark = s.q.Watermark()
 	resp.Reports = s.reports.count()
+	if s.wal != nil {
+		resp.WAL = s.wal.health()
+	}
 	s.frontMu.Lock()
 	resp.FrontQuar = s.frontQuar.Total()
 	s.frontMu.Unlock()

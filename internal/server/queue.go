@@ -41,9 +41,28 @@ var (
 // quarantine rejects them as late — exactly how a chaos-injected late
 // batch is treated. Records for buckets the backend skipped over (warmup
 // subsampling) are discarded, as a streaming replay discards them.
+// queueJournal receives the queue's externally visible events for the
+// durability layer: accepted batches in push order, explicit seals, and
+// the exact per-bucket streams served to the backend. Calls happen under
+// the queue lock, so journal order IS queue order — which is what makes
+// replaying the journal reconstruct the queue's behavior exactly. The
+// journal is best-effort: implementations absorb their own errors
+// (degrading durability loudly) rather than failing the data plane.
+type queueJournal interface {
+	journalBatch(obs []trace.Observation)
+	journalSeal(through netmodel.Bucket)
+	journalBucket(b netmodel.Bucket, obs []trace.Observation)
+}
+
 type ingestQueue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
+
+	// jrn, when non-nil, journals accepted batches, seals, and consumed
+	// buckets. It is nil during recovery replay — replayed events are
+	// already in the journal — and installed via setJournal once the
+	// replay has caught up.
+	jrn queueJournal
 
 	pending map[netmodel.Bucket][]trace.Observation
 	// stale holds arrivals for already-consumed buckets until the next
@@ -56,6 +75,9 @@ type ingestQueue struct {
 	// watermark is the lowest unsealed bucket: reads for b < watermark
 	// proceed, reads at or above it block.
 	watermark netmodel.Bucket
+	// stepped is the highest bucket the backend has fully stepped AND
+	// published (markStepped); recovery's replay barriers wait on it.
+	stepped netmodel.Bucket
 
 	records    int // pending + stale records, for backpressure
 	maxRecords int // 0 = unbounded
@@ -71,6 +93,7 @@ func newIngestQueue(maxRecords int, manualSeal bool) *ingestQueue {
 		pending:    make(map[netmodel.Bucket][]trace.Observation),
 		maxRecords: maxRecords,
 		manualSeal: manualSeal,
+		stepped:    -1,
 	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
@@ -88,6 +111,28 @@ func (q *ingestQueue) Push(obs []trace.Observation) error {
 	if q.maxRecords > 0 && q.records+len(obs) > q.maxRecords {
 		return ErrBackpressure
 	}
+	if q.jrn != nil {
+		// Journal before the in-memory accept so an acknowledged batch is
+		// at least as durable as the fsync policy promises.
+		q.jrn.journalBatch(obs)
+	}
+	q.pushLocked(obs)
+	return nil
+}
+
+// pushRecovered enqueues a batch replayed from the journal: no capacity
+// check (the records were accepted once already and must not be dropped
+// now) and no re-journaling.
+func (q *ingestQueue) pushRecovered(obs []trace.Observation) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.pushLocked(obs)
+}
+
+func (q *ingestQueue) pushLocked(obs []trace.Observation) {
 	for _, o := range obs {
 		if o.Bucket < q.frontier {
 			q.stale = append(q.stale, o)
@@ -101,7 +146,6 @@ func (q *ingestQueue) Push(obs []trace.Observation) error {
 	q.records += len(obs)
 	q.pushed += int64(len(obs))
 	q.cond.Broadcast()
-	return nil
 }
 
 // SealThrough marks every bucket up to and including b as sealed, letting
@@ -110,10 +154,46 @@ func (q *ingestQueue) Push(obs []trace.Observation) error {
 func (q *ingestQueue) SealThrough(b netmodel.Bucket) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.jrn != nil {
+		q.jrn.journalSeal(b)
+	}
+	q.sealThroughLocked(b)
+}
+
+// sealRecovered replays a journaled seal without re-journaling it.
+func (q *ingestQueue) sealRecovered(b netmodel.Bucket) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sealThroughLocked(b)
+}
+
+func (q *ingestQueue) sealThroughLocked(b netmodel.Bucket) {
 	if b+1 > q.watermark {
 		q.watermark = b + 1
 	}
 	q.cond.Broadcast()
+}
+
+// setJournal installs the journal once recovery replay has caught up.
+func (q *ingestQueue) setJournal(j queueJournal) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.jrn = j
+}
+
+// awaitFrontier blocks until the backend has consumed every bucket below
+// b (or ctx is cancelled / the queue closed). Recovery replays one
+// journaled bucket at a time and waits for the backend to drain it before
+// feeding the next, so consumption order reproduces the journal exactly.
+func (q *ingestQueue) awaitFrontier(ctx context.Context, b netmodel.Bucket) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	stop := context.AfterFunc(ctx, q.cond.Broadcast)
+	defer stop()
+	for q.frontier < b && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	return q.frontier >= b
 }
 
 // Close stops ingestion and seals everything pending: Push fails with
@@ -213,14 +293,48 @@ func (q *ingestQueue) ObservationsAt(ctx context.Context, b netmodel.Bucket, buf
 	if err := ctx.Err(); err != nil {
 		return buf, err
 	}
+	start := len(buf)
 	buf = append(buf, q.stale...)
 	buf = append(buf, q.pending[b]...)
 	q.records -= len(q.stale) + len(q.pending[b])
 	q.stale = q.stale[:0]
 	delete(q.pending, b)
+	if q.jrn != nil {
+		// Journal the exact slice served — stale-first order and all, and
+		// empty reads too: replaying these streams in order IS how recovery
+		// reconstructs the pipeline, so the journal must record every
+		// consumption, not just the non-empty ones.
+		q.jrn.journalBucket(b, buf[start:])
+	}
 	if b+1 > q.frontier {
 		q.frontier = b + 1
 	}
 	q.cond.Broadcast()
 	return buf, nil
+}
+
+// markStepped records that the backend finished the whole step for bucket
+// b — pipeline mutation AND report publication. awaitFrontier only proves
+// the read happened; recovery needs this stronger barrier before touching
+// pipeline state (DiscardWindow) between replayed buckets.
+func (q *ingestQueue) markStepped(b netmodel.Bucket) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b > q.stepped {
+		q.stepped = b
+	}
+	q.cond.Broadcast()
+}
+
+// awaitStepped blocks until markStepped(b) (or ctx cancellation / queue
+// close). Returns whether the step completed.
+func (q *ingestQueue) awaitStepped(ctx context.Context, b netmodel.Bucket) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	stop := context.AfterFunc(ctx, q.cond.Broadcast)
+	defer stop()
+	for q.stepped < b && !q.closed && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	return q.stepped >= b
 }

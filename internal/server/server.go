@@ -33,6 +33,7 @@ import (
 	"blameit/internal/netmodel"
 	"blameit/internal/pipeline"
 	"blameit/internal/quartet"
+	"blameit/internal/wal"
 )
 
 // Config assembles the service tunables around an embedded pipeline
@@ -59,6 +60,19 @@ type Config struct {
 	// of later-bucket records. Use it when concurrent collectors deliver
 	// buckets out of order.
 	ManualSeal bool
+	// DataDir, when set, enables the write-ahead log: ingested buckets
+	// and published reports are journaled under it, and the next New
+	// over the same directory replays the journal — reconstructing the
+	// backend byte-exactly — before serving traffic. Empty disables
+	// durability entirely (the seed behavior).
+	DataDir string
+	// WAL tunes the write-ahead log; used only when DataDir is set. An
+	// empty WAL.Meta gets a fingerprint derived from this Config.
+	WAL wal.Config
+	// CompactEveryReports compacts the WAL after every N newly journaled
+	// reports. 0 takes DefaultCompactEveryReports; negative disables
+	// compaction.
+	CompactEveryReports int
 }
 
 // Defaults for the zero-valued Config fields.
@@ -107,10 +121,11 @@ type reportLog struct {
 	max     int
 }
 
-func (l *reportLog) add(rep *pipeline.Report, canonical []byte) {
+func (l *reportLog) add(rep *pipeline.Report, canonical []byte) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.reports = append(l.reports, storedReport{seq: l.nextSeq, rep: rep, canonical: canonical})
+	seq := l.nextSeq
+	l.reports = append(l.reports, storedReport{seq: seq, rep: rep, canonical: canonical})
 	l.nextSeq++
 	if l.max > 0 && len(l.reports) > l.max {
 		n := copy(l.reports, l.reports[len(l.reports)-l.max:])
@@ -118,6 +133,22 @@ func (l *reportLog) add(rep *pipeline.Report, canonical []byte) {
 			l.reports[i] = storedReport{}
 		}
 		l.reports = l.reports[:n]
+	}
+	return seq
+}
+
+// replace swaps the regenerated report into a restored entry, keeping
+// its seq and canonical bytes. Restart recovery uses it to graft the
+// Health and Metrics — which the canonical form excludes — back onto
+// reports restored from the WAL once the replay regenerates them.
+func (l *reportLog) replace(seq int64, rep *pipeline.Report) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.reports {
+		if l.reports[i].seq == seq {
+			l.reports[i].rep = rep
+			return
+		}
 	}
 }
 
@@ -186,6 +217,9 @@ type Server struct {
 	// single-goroutine.
 	aggMu sync.Mutex
 	agg   aggState
+
+	// wal, when non-nil, is the durability layer (Config.DataDir set).
+	wal *walState
 
 	mBatches     *metrics.Counter
 	mRecords     *metrics.Counter
@@ -264,7 +298,27 @@ func New(deps pipeline.Deps, cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.routes()
 	s.bctx, s.bcancel = context.WithCancel(context.Background())
+	// With a data directory, open the WAL and restore the journaled
+	// reports BEFORE the backend starts, then replay the consumed
+	// history through it before New returns: callers get a server whose
+	// state is already byte-equivalent to the pre-crash one.
+	var rec *wal.Recovery
+	if cfg.DataDir != "" {
+		var err error
+		if rec, err = s.openWAL(cfg); err != nil {
+			return nil, err
+		}
+	}
 	go s.run()
+	if rec != nil {
+		if err := s.replayRecovery(rec); err != nil {
+			s.q.Close()
+			s.bcancel()
+			<-s.done
+			s.wal.log.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -278,6 +332,15 @@ func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
 
 // Reports returns how many reports the backend has published.
 func (s *Server) Reports() int64 { return s.reports.count() }
+
+// WALHealth returns the durability summary /healthz serves, or nil when
+// the server runs without a data directory.
+func (s *Server) WALHealth() *WALHealth {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.health()
+}
 
 // Err returns the backend's terminal error, if it failed.
 func (s *Server) Err() error {
@@ -320,6 +383,10 @@ func (s *Server) run() {
 			return
 		}
 		s.publish(rep)
+		// The step is fully done — pipeline mutation and publication.
+		// WAL replay synchronizes on this barrier before touching
+		// pipeline state between replayed buckets.
+		s.q.markStepped(b)
 		pending, _ := s.q.Depth()
 		s.gQueueDepth.Set(int64(pending))
 	}
@@ -337,8 +404,11 @@ func (s *Server) run() {
 	s.publish(rep)
 }
 
-// publish renders and retains one report. A nil report (a step between job
-// runs) is a no-op.
+// publish renders, retains, and journals one report. A nil report (a
+// step between job runs) is a no-op. During WAL replay a regenerated
+// report is already journaled and already restored into the log: it is
+// verified against the journaled bytes and grafted onto the restored
+// entry instead of being appended again.
 func (s *Server) publish(rep *pipeline.Report) {
 	if rep == nil {
 		return
@@ -348,8 +418,18 @@ func (s *Server) publish(rep *pipeline.Report) {
 		s.setErr(fmt.Errorf("server: canonicalize report [%d, %d]: %w", rep.From, rep.To, err))
 		return
 	}
-	s.reports.add(rep, canonical)
+	if s.wal != nil {
+		if seq, replayed := s.wal.consumeReplayed(rep, canonical); replayed {
+			s.reports.replace(seq, rep)
+			s.mReportsPub.Inc()
+			return
+		}
+	}
+	seq := s.reports.add(rep, canonical)
 	s.mReportsPub.Inc()
+	if s.wal != nil {
+		s.wal.journalReport(seq, rep, canonical)
+	}
 }
 
 // Shutdown drains the daemon gracefully: ingestion stops (new batches get
@@ -361,9 +441,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	// Flush every buffered aggregate bucket before closing the queue, so
 	// a fleet run that never sent a trailing seal still gets its last
-	// buckets localized. Backpressure clears as the backend drains.
+	// buckets localized. Backpressure clears as the backend drains. The
+	// flush is bounded by the highest buffered bucket, not an arbitrary
+	// huge seal: the seal it implies is journaled and replayed on
+	// restart, and the backend walks every sealed bucket.
 	for {
-		err := s.flushAggregates(netmodel.Bucket(1<<62 - 1))
+		s.aggMu.Lock()
+		through := netmodel.Bucket(-1)
+		for b := range s.agg.pending {
+			if b > through {
+				through = b
+			}
+		}
+		s.aggMu.Unlock()
+		if through < 0 {
+			break
+		}
+		err := s.flushAggregates(through)
 		if err == nil || ctx.Err() != nil {
 			break
 		}
@@ -380,5 +474,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.done
 	}
 	s.bcancel()
+	if s.wal != nil {
+		// Everything the backend will ever journal is journaled; sync
+		// and close so even SyncOff leaves a complete log behind.
+		if err := s.wal.log.Close(); err != nil {
+			s.wal.absorb(err)
+		}
+	}
 	return s.Err()
 }

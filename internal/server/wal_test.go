@@ -1,0 +1,854 @@
+package server
+
+// Crash-safety tests for the WAL-backed daemon: restart equivalence
+// across seeded in-process crash points, SIGKILL-based kill injection
+// against the real binary, corrupt-tail truncation, degraded-disk
+// fallback, recovery stats on /healthz, and the Retry-After derivation.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"blameit/internal/bgp"
+	"blameit/internal/chaos"
+	"blameit/internal/faults"
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/pipeline"
+	"blameit/internal/probe"
+	"blameit/internal/sim"
+	"blameit/internal/topology"
+	"blameit/internal/trace"
+	"blameit/internal/wal"
+)
+
+// walEnv is one daemon incarnation. It can be crashed — backend killed
+// wherever it is, no drain, no finalize, WAL abandoned without a final
+// sync, exactly the state a SIGKILL leaves behind — and a fresh
+// incarnation opened over the same directory.
+type walEnv struct {
+	srv   *Server
+	ts    *httptest.Server
+	alive bool
+}
+
+// openEnv starts one incarnation. makeSim builds the probe-serving
+// simulator — a fresh instance per incarnation, because a real restart
+// regenerates the engine from seeds and replay re-issues every probe
+// from zero. dir == "" runs without durability (the seed behavior).
+func openEnv(t *testing.T, dir string, makeSim func() *sim.Simulator, mut func(*Config)) *walEnv {
+	t.Helper()
+	probeSim := makeSim()
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Workers = 1
+	cfg := Config{Pipeline: pcfg}
+	if dir != "" {
+		cfg.DataDir = dir
+		cfg.WAL = wal.Config{Fsync: wal.SyncOff}
+		cfg.CompactEveryReports = 8
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := New(pipeline.Deps{
+		World:  probeSim.World,
+		Table:  probeSim.Routes,
+		Prober: probe.NewEngine(probeSim, cfg.Pipeline.ProbeNoiseMS),
+	}, cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	e := &walEnv{srv: srv, ts: httptest.NewServer(srv.Handler()), alive: true}
+	t.Cleanup(func() {
+		if !e.alive {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = e.srv.Shutdown(ctx)
+		e.ts.Close()
+		e.alive = false
+	})
+	return e
+}
+
+// crash kills the incarnation: the backend's context is cancelled (it
+// stops mid-read or mid-step, whatever it was doing), the listener goes
+// away, and the log is closed without a sync. Nothing that was not
+// already written reaches disk.
+func (e *walEnv) crash() {
+	e.srv.bcancel()
+	<-e.srv.done
+	e.ts.Close()
+	if e.srv.wal != nil {
+		e.srv.wal.log.Abandon()
+	}
+	e.alive = false
+}
+
+// close drains the incarnation gracefully.
+func (e *walEnv) close(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := e.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	e.ts.Close()
+	e.alive = false
+}
+
+// quiesce blocks until the backend has fully consumed the feed through
+// sealed bucket b: the frontier has passed every bucket a read covers at
+// this watermark (during warmup only every WarmupSampleEvery'th bucket
+// is read), and — past warmup — bucket b's step and report publish have
+// retired.
+func (e *walEnv) quiesce(t *testing.T, b netmodel.Bucket) {
+	t.Helper()
+	cfg := e.srv.cfg
+	want := b + 1
+	if b < cfg.WarmupBuckets {
+		stride := netmodel.Bucket(cfg.Pipeline.WarmupSampleEvery)
+		want = b - b%stride + 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if !e.srv.q.awaitFrontier(ctx, want) {
+		t.Fatalf("quiesce: frontier never reached %d (backend err: %v)", want, e.srv.Err())
+	}
+	if b >= cfg.WarmupBuckets && !e.srv.q.awaitStepped(ctx, b) {
+		t.Fatalf("quiesce: bucket %d never stepped (backend err: %v)", b, e.srv.Err())
+	}
+}
+
+func checkRecoveryConsistent(t *testing.T, e *walEnv) {
+	t.Helper()
+	wh := e.srv.WALHealth()
+	if wh == nil {
+		t.Fatal("reopened daemon reports no WAL health")
+	}
+	if wh.RecoveryInconsistent != 0 {
+		t.Fatalf("recovery marked %d inconsistencies: %+v", wh.RecoveryInconsistent, wh)
+	}
+	if wh.Degraded {
+		t.Fatalf("durability degraded after reopen: %+v", wh)
+	}
+}
+
+// crashPoint is one seeded kill: after bucket's ingest, in one of three
+// modes. "boundary" quiesces first (the sealed-bucket boundary),
+// "afterseal" kills with the seal acked but the backend mid-flight
+// (post-seal pre-report), "midbatch" kills between two halves of the
+// bucket's batch before its seal (mid-batch).
+type crashPoint struct {
+	bucket netmodel.Bucket
+	mode   string
+}
+
+// seededPoints draws n distinct crash buckets in [1, horizon-2] with at
+// least one mid-batch and one after-seal kill per run.
+func seededPoints(rng *rand.Rand, horizon, n int) []crashPoint {
+	picked := map[int]bool{}
+	for len(picked) < n {
+		picked[1+rng.Intn(horizon-2)] = true
+	}
+	buckets := make([]int, 0, n)
+	for b := range picked {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	points := make([]crashPoint, n)
+	for i, b := range buckets {
+		mode := "boundary"
+		switch i {
+		case 0:
+			mode = "midbatch"
+		case 1:
+			mode = "afterseal"
+		}
+		points[i] = crashPoint{bucket: netmodel.Bucket(b), mode: mode}
+	}
+	return points
+}
+
+// runServiceFeed drives one service run over pre-generated bucket
+// streams — POST, seal, next — crashing and reopening at each crash
+// point. It returns the final incarnation, quiesced through the last
+// bucket and still serving, so callers can read reports, verdicts, and
+// health before closing it.
+func runServiceFeed(t *testing.T, dir string, makeSim func() *sim.Simulator, mut func(*Config), streams [][]trace.Observation, points []crashPoint) *walEnv {
+	t.Helper()
+	e := openEnv(t, dir, makeSim, mut)
+	pi := 0
+	for b := range streams {
+		bb := netmodel.Bucket(b)
+		obs := streams[b]
+		if pi < len(points) && points[pi].bucket == bb && points[pi].mode == "midbatch" && len(obs) > 1 {
+			half := len(obs) / 2
+			postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, obs[:half]))
+			e.crash()
+			e = openEnv(t, dir, makeSim, mut)
+			checkRecoveryConsistent(t, e)
+			obs = obs[half:] // replay restored the first half as a leftover
+			pi++
+		}
+		if len(obs) > 0 {
+			postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, obs))
+		}
+		if st, body := postSeal(t, e.ts.Client(), e.ts.URL, bb); st != http.StatusAccepted {
+			t.Fatalf("seal %d = %d (%s)", bb, st, body)
+		}
+		if pi < len(points) && points[pi].bucket == bb {
+			if points[pi].mode == "boundary" {
+				e.quiesce(t, bb)
+			}
+			pi++
+			e.crash()
+			e = openEnv(t, dir, makeSim, mut)
+			checkRecoveryConsistent(t, e)
+		}
+	}
+	e.quiesce(t, netmodel.Bucket(len(streams)-1))
+	return e
+}
+
+func reportsIndex(t *testing.T, client *http.Client, base string) []byte {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/reports")
+	if err != nil {
+		t.Fatalf("GET /v1/reports: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading /v1/reports: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// simStreams pre-generates every bucket's observation stream from one
+// feed simulator, so each arm of an equivalence test ingests the
+// identical byte-for-byte telemetry.
+func simStreams(feed *sim.Simulator, horizon int) [][]trace.Observation {
+	streams := make([][]trace.Observation, horizon)
+	for b := range streams {
+		streams[b] = append([]trace.Observation(nil), feed.ObservationsAt(netmodel.Bucket(b), nil)...)
+	}
+	return streams
+}
+
+// TestWALRestartEquivalence is the in-process half of the crash gate:
+// the same trace fed to a durability-free daemon, a WAL daemon that
+// never crashes, and WAL daemons crash-killed at seeded points —
+// mid-batch, post-seal pre-report, and quiesced sealed-bucket
+// boundaries, crossing warmup, step, and compaction cadences — must all
+// serve byte-identical /v1/reports.
+func TestWALRestartEquivalence(t *testing.T) {
+	const warmup = 36
+	horizon, runs, pointsPerRun := 144, 4, 5
+	if testing.Short() {
+		horizon, runs, pointsPerRun = 72, 1, 3
+	}
+	streams := simStreams(newTestSim(1), horizon)
+	mkSim := func() *sim.Simulator { return newTestSim(1) }
+	mut := func(c *Config) { c.WarmupBuckets = warmup }
+
+	ref := runServiceFeed(t, "", mkSim, mut, streams, nil)
+	want := collectCanonical(t, ref.ts.Client(), ref.ts.URL)
+	wantIdx := reportsIndex(t, ref.ts.Client(), ref.ts.URL)
+	ref.close(t)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no reports — test horizon too short")
+	}
+
+	clean := runServiceFeed(t, t.TempDir(), mkSim, mut, streams, nil)
+	if got := collectCanonical(t, clean.ts.Client(), clean.ts.URL); !bytes.Equal(got, want) {
+		t.Fatalf("WAL-enabled run (no crash) diverged from the durability-free run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	clean.close(t)
+
+	for run := 0; run < runs; run++ {
+		run := run
+		t.Run(fmt.Sprintf("crashes-%d", run), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000*run + 7)))
+			points := seededPoints(rng, horizon, pointsPerRun)
+			t.Logf("crash points: %+v", points)
+			e := runServiceFeed(t, t.TempDir(), mkSim, mut, streams, points)
+			defer e.close(t)
+			if got := collectCanonical(t, e.ts.Client(), e.ts.URL); !bytes.Equal(got, want) {
+				t.Errorf("reports diverged after %d crash/recover cycles", len(points))
+			}
+			if got := reportsIndex(t, e.ts.Client(), e.ts.URL); !bytes.Equal(got, wantIdx) {
+				t.Errorf("report index diverged after crashes:\n got %s\nwant %s", got, wantIdx)
+			}
+			wh := e.srv.WALHealth()
+			if wh.RecoveredBuckets == 0 || wh.RecoveredReports == 0 {
+				t.Errorf("final incarnation recovered nothing: %+v", wh)
+			}
+		})
+	}
+}
+
+// TestWALHealthzRecoveryStats pins the exact recovery counters a
+// restart surfaces on /healthz.
+func TestWALHealthzRecoveryStats(t *testing.T) {
+	dir := t.TempDir()
+	mkSim := func() *sim.Simulator { return newTestSim(1) }
+	streams := simStreams(newTestSim(1), 12)
+
+	e := openEnv(t, dir, mkSim, nil) // warmup 0: every bucket is stepped
+	for b := 0; b < 9; b++ {
+		postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, streams[b]))
+		if st, body := postSeal(t, e.ts.Client(), e.ts.URL, netmodel.Bucket(b)); st != http.StatusAccepted {
+			t.Fatalf("seal %d = %d (%s)", b, st, body)
+		}
+		e.quiesce(t, netmodel.Bucket(b))
+	}
+	e.crash()
+
+	e = openEnv(t, dir, mkSim, nil)
+	defer e.close(t)
+	wh := e.srv.WALHealth()
+	if wh.RecoveredBuckets != 9 || wh.RecoveredBatches != 9 || wh.RecoveredReports != 3 {
+		t.Fatalf("recovered buckets/batches/reports = %d/%d/%d, want 9/9/3",
+			wh.RecoveredBuckets, wh.RecoveredBatches, wh.RecoveredReports)
+	}
+	if wh.TruncatedBytes != 0 || wh.RecoveryInconsistent != 0 || wh.Degraded {
+		t.Fatalf("unexpected recovery state: %+v", wh)
+	}
+
+	// The same stats through the HTTP surface.
+	resp, err := e.ts.Client().Get(e.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var h healthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	if h.WAL == nil {
+		t.Fatal("/healthz has no wal section with -data-dir set")
+	}
+	if *h.WAL != *wh {
+		t.Fatalf("/healthz wal section %+v != WALHealth %+v", *h.WAL, *wh)
+	}
+
+	// The reopened daemon keeps going where the dead one stopped.
+	for b := 9; b < 12; b++ {
+		postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, streams[b]))
+		if st, body := postSeal(t, e.ts.Client(), e.ts.URL, netmodel.Bucket(b)); st != http.StatusAccepted {
+			t.Fatalf("seal %d = %d (%s)", b, st, body)
+		}
+		e.quiesce(t, netmodel.Bucket(b))
+	}
+	if n := e.srv.Reports(); n != 4 {
+		t.Fatalf("reports after restart+resume = %d, want 4", n)
+	}
+}
+
+// TestWALCorruptTailTruncated garbles the newest segment's tail and
+// verifies the reopen truncates at the last valid record, reports the
+// dropped bytes, and recovers everything before the corruption.
+func TestWALCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	mkSim := func() *sim.Simulator { return newTestSim(1) }
+	streams := simStreams(newTestSim(1), 6)
+
+	e := openEnv(t, dir, mkSim, nil)
+	for b := range streams {
+		postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, streams[b]))
+		if st, body := postSeal(t, e.ts.Client(), e.ts.URL, netmodel.Bucket(b)); st != http.StatusAccepted {
+			t.Fatalf("seal %d = %d (%s)", b, st, body)
+		}
+		e.quiesce(t, netmodel.Bucket(b))
+	}
+	want := collectCanonical(t, e.ts.Client(), e.ts.URL)
+	e.close(t)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(segs)
+	garbage := bytes.Repeat([]byte{0xEE}, 37)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	e = openEnv(t, dir, mkSim, nil)
+	defer e.close(t)
+	wh := e.srv.WALHealth()
+	if wh.TruncatedBytes != int64(len(garbage)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", wh.TruncatedBytes, len(garbage))
+	}
+	if wh.RecoveryInconsistent != 0 {
+		t.Fatalf("truncated tail flagged inconsistency: %+v", wh)
+	}
+	if got := collectCanonical(t, e.ts.Client(), e.ts.URL); !bytes.Equal(got, want) {
+		t.Fatal("reports diverged after corrupt-tail truncation")
+	}
+}
+
+// TestWALDegradedDisk yanks the data directory out from under a running
+// daemon: the next segment rotation fails, durability degrades loudly,
+// and the data plane keeps serving from memory.
+func TestWALDegradedDisk(t *testing.T) {
+	dir := t.TempDir()
+	streams := simStreams(newTestSim(1), 24)
+	e := openEnv(t, dir, func() *sim.Simulator { return newTestSim(1) }, func(c *Config) {
+		c.WAL.SegmentBytes = 4 << 10 // rotate every few records
+	})
+	defer func() {
+		if e.alive {
+			e.close(t)
+		}
+	}()
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	degradedAt := -1
+	for b := 0; b < len(streams); b++ {
+		postWithRetry(t, e.ts.Client(), e.ts.URL+"/v1/ingest", jsonlBody(t, streams[b]))
+		if st, body := postSeal(t, e.ts.Client(), e.ts.URL, netmodel.Bucket(b)); st != http.StatusAccepted {
+			t.Fatalf("seal %d = %d (%s)", b, st, body)
+		}
+		e.quiesce(t, netmodel.Bucket(b))
+		if degradedAt < 0 && e.srv.WALHealth().Degraded {
+			degradedAt = b
+		}
+		// Once degraded, run a few more buckets to show the data plane
+		// keeps ingesting, stepping, and publishing from memory.
+		if degradedAt >= 0 && b >= degradedAt+6 {
+			break
+		}
+	}
+	if degradedAt < 0 {
+		t.Fatal("removing the data directory never degraded durability")
+	}
+	if n := e.srv.Reports(); n == 0 {
+		t.Fatal("no reports published while degraded")
+	}
+	status, h := (&testEnv{srv: e.srv, ts: e.ts}).health(t)
+	if status != http.StatusOK || h.WAL == nil || !h.WAL.Degraded {
+		t.Fatalf("healthz = %d %+v, want 200 with wal.degraded_durability", status, h.WAL)
+	}
+}
+
+// TestRetryAfterDerivation pins the queue-occupancy → Retry-After
+// mapping, including the full-queue answer of 5s and the clamp.
+func TestRetryAfterDerivation(t *testing.T) {
+	cases := []struct {
+		occupied, max int
+		want          string
+	}{
+		{0, 100, "1"},
+		{24, 100, "1"},
+		{25, 100, "2"},
+		{50, 100, "3"},
+		{99, 100, "4"},
+		{100, 100, "5"}, // full queue
+		{180, 100, "8"},
+		{900, 100, "8"}, // clamp
+		{5, 0, "1"},     // unbounded queue
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.occupied, c.max); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d) = %s, want %s", c.occupied, c.max, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterFullQueuePinned fills the ingest queue exactly and pins
+// the 429's Retry-After header at the derived full-queue value.
+func TestRetryAfterFullQueuePinned(t *testing.T) {
+	obs0 := newTestSim(1).ObservationsAt(0, nil)
+	e := newTestEnv(t, func(c *Config) {
+		c.ManualSeal = true // nothing seals, so nothing drains
+		c.MaxPendingRecords = len(obs0)
+	})
+	if st, body := e.post(t, "/v1/ingest", jsonlBody(t, obs0)); st != http.StatusAccepted {
+		t.Fatalf("exact-fill ingest = %d (%s), want 202", st, body)
+	}
+	resp, err := e.ts.Client().Post(e.ts.URL+"/v1/ingest", "application/x-ndjson",
+		bytes.NewReader(jsonlBody(t, e.bucketObs(1))))
+	if err != nil {
+		t.Fatalf("POST over full queue: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST over full queue = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Fatalf("Retry-After on full queue = %q, want \"5\"", ra)
+	}
+}
+
+// chaosWorld builds the shared topology, fault schedule, and simulator
+// constructor for the restart-under-chaos run: a 1-day warmup plus a
+// 1-day localization window with two middle-AS incidents inside it.
+func chaosWorld() (*topology.World, func() *sim.Simulator) {
+	w := topology.Generate(topology.SmallScale(), 42)
+	horizon := netmodel.Bucket(3 * netmodel.BucketsPerDay)
+	var fs []faults.Fault
+	for i, region := range []netmodel.Region{netmodel.RegionUSA, netmodel.RegionEurope} {
+		tr := w.Transits[region]
+		fs = append(fs, faults.Fault{
+			Kind: faults.MiddleASFault, AS: tr[i%len(tr)], ScopeCloud: faults.NoCloud,
+			Start:    netmodel.Bucket(300 + 150*i),
+			Duration: 18, ExtraMS: 90,
+		})
+	}
+	mk := func() *sim.Simulator {
+		w := topology.Generate(topology.SmallScale(), 42)
+		tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, 7)
+		return sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(99))
+	}
+	return w, mk
+}
+
+// chaosStreams pulls every bucket through a chaos source wrapped around
+// the feed simulator — drops, corruption, duplicates, and late
+// redeliveries land in the per-bucket streams exactly as they would at
+// a flaky edge — then sanitizes non-finite RTTs for the JSONL wire:
+// encoding/json cannot carry NaN/Inf, and a negative mean RTT is
+// equally corrupt to the quarantine, so the injected-corruption count
+// survives the transport bit for bit.
+func chaosStreams(t *testing.T, w *topology.World, feed *sim.Simulator, ccfg chaos.Config, horizon int) ([][]trace.Observation, chaos.SourceStats) {
+	t.Helper()
+	src := chaos.NewSource(ingest.NewSimSource(feed), ccfg, netmodel.PrefixID(len(w.Prefixes)))
+	streams := make([][]trace.Observation, horizon)
+	ctx := context.Background()
+	for b := range streams {
+		var obs []trace.Observation
+		var err error
+		for attempt := 0; attempt < 4; attempt++ { // transient injections retry
+			if obs, err = src.ObservationsAt(ctx, netmodel.Bucket(b), nil); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("chaos stream bucket %d: %v", b, err)
+		}
+		streams[b] = append([]trace.Observation(nil), obs...)
+		for i := range streams[b] {
+			if math.IsNaN(streams[b][i].MeanRTT) {
+				streams[b][i].MeanRTT = -1e6
+			} else if math.IsInf(streams[b][i].MeanRTT, 0) {
+				streams[b][i].MeanRTT = -2e6
+			}
+		}
+	}
+	return streams, src.Stats()
+}
+
+// gradeVerdicts grades every served verdict against simulator ground
+// truth, counting only clear-cut cases (dominant, sizable, middle
+// segment) exactly as the chaos end-to-end test does.
+func gradeVerdicts(t *testing.T, body []byte, truth *sim.Simulator) (graded, wrong int) {
+	t.Helper()
+	var wins []verdictWindow
+	if err := json.Unmarshal(body, &wins); err != nil {
+		t.Fatalf("decoding /v1/verdicts: %v", err)
+	}
+	for _, win := range wins {
+		for _, v := range win.Verdicts {
+			if !v.Probed || v.Degraded || !v.OK {
+				continue
+			}
+			inf := truth.DominantInflation(v.Issue.Prefixes[0], v.Issue.Cloud, win.To)
+			if inf.Segment != netmodel.SegMiddle || !inf.Dominant || inf.TotalMS < 20 {
+				continue
+			}
+			graded++
+			if v.AS != inf.AS {
+				wrong++
+			}
+		}
+	}
+	return graded, wrong
+}
+
+// TestRestartUnderChaos is the satellite gate: a 2-day light-chaos run
+// killed and recovered at sealed-bucket boundaries — mid-warmup,
+// mid-incident, and near the end — must serve reports byte-identical to
+// an uninterrupted durability-free run over the same chaotic feed,
+// localize nothing wrongly, and keep the quarantine books balanced
+// against the injected faults across every restart.
+func TestRestartUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2-day chaos restart run skipped in -short mode")
+	}
+	const warmup = netmodel.BucketsPerDay
+	const horizon = 2 * netmodel.BucketsPerDay
+	w, mkSim := chaosWorld()
+	streams, st := chaosStreams(t, w, mkSim(), chaos.Light(1234), horizon)
+	if st.Corrupted == 0 || st.LateDelivered == 0 || st.Duplicated == 0 {
+		t.Fatalf("light profile injected nothing over %d buckets: %+v", horizon, st)
+	}
+	mut := func(c *Config) {
+		c.WarmupBuckets = warmup
+		// The service queue discards records for buckets the sampled
+		// warmup skips; read every bucket so each injected late record
+		// meets the quarantine and the books stay exactly balanced.
+		c.Pipeline.WarmupSampleEvery = 1
+	}
+
+	ref := runServiceFeed(t, "", mkSim, mut, streams, nil)
+	want := collectCanonical(t, ref.ts.Client(), ref.ts.URL)
+	ref.close(t)
+	wantQuar := ref.srv.Pipeline().Quarantine()
+
+	points := []crashPoint{
+		{bucket: 150, mode: "boundary"}, // mid-warmup
+		{bucket: 310, mode: "boundary"}, // inside the first incident
+		{bucket: 540, mode: "boundary"}, // near the end
+	}
+	e := runServiceFeed(t, t.TempDir(), mkSim, mut, streams, points)
+	got := collectCanonical(t, e.ts.Client(), e.ts.URL)
+	verdicts, status := []byte(nil), 0
+	{
+		resp, err := e.ts.Client().Get(e.ts.URL + "/v1/verdicts")
+		if err != nil {
+			t.Fatalf("GET /v1/verdicts: %v", err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		verdicts, status = buf.Bytes(), resp.StatusCode
+	}
+	e.close(t)
+
+	if !bytes.Equal(got, want) {
+		t.Errorf("chaos run reports diverged across %d crash/recover cycles", len(points))
+	}
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/verdicts = %d", status)
+	}
+	graded, wrong := gradeVerdicts(t, verdicts, mkSim())
+	if graded == 0 {
+		t.Fatal("no clear-cut verdicts graded — chaos world too quiet")
+	}
+	if wrong != 0 {
+		t.Errorf("%d/%d clear-cut verdicts wrongly localized after restarts", wrong, graded)
+	}
+
+	// The quarantine books after three restarts must balance the
+	// injected fault schedule exactly, and match the uninterrupted arm.
+	q := e.srv.Pipeline().Quarantine()
+	if got := q.Count(ingest.ReasonCorrupt); got != st.Corrupted {
+		t.Errorf("corrupt: injected %d, quarantined %d", st.Corrupted, got)
+	}
+	if got := q.Count(ingest.ReasonLate); got != st.LateDelivered {
+		t.Errorf("late: delivered %d, quarantined %d", st.LateDelivered, got)
+	}
+	if got := q.Count(ingest.ReasonDuplicate); got != st.Duplicated {
+		t.Errorf("duplicate: injected %d, quarantined %d", st.Duplicated, got)
+	}
+	for _, r := range []ingest.Reason{ingest.ReasonCorrupt, ingest.ReasonLate, ingest.ReasonDuplicate} {
+		if a, b := q.Count(r), wantQuar.Count(r); a != b {
+			t.Errorf("quarantine %v: crash arm %d, uninterrupted arm %d", r, a, b)
+		}
+	}
+	t.Logf("chaos restart: graded=%d wrong=%d injected=%+v", graded, wrong, st)
+}
+
+// --- SIGKILL harness against the real binary ---
+
+// daemonProc is one blameitd subprocess bound to an ephemeral port.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func startDaemon(t *testing.T, bin string, args []string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	// The listen line prints only after recovery has replayed, so
+	// finding it means the daemon is fully caught up.
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "blameitd listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon never printed its listen address (scan err %v)", sc.Err())
+	}
+	go func() { // drain the rest so the child never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+	return &daemonProc{cmd: cmd, base: "http://" + addr}
+}
+
+// kill SIGKILLs the daemon — the real thing, no cleanup of any kind.
+func (d *daemonProc) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	_, _ = d.cmd.Process.Wait()
+}
+
+// httpQuiesce polls /healthz until the queue is drained through b.
+func httpQuiesce(t *testing.T, client *http.Client, base string, b netmodel.Bucket) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("daemon drained through bucket %d", b), func() bool {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		var h healthResponse
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		return err == nil && h.QueueDepth == 0 && h.Watermark > b
+	})
+}
+
+// TestCrashRecoverySIGKILL is the kill-injection gate against the real
+// binary: the daemon is `kill -9`ed at 20 seeded points while ingesting
+// a deterministic 96-bucket feed — half of the kills land on a drained
+// sealed-bucket boundary, half mid-window right after a seal ack — and
+// each restart must replay its WAL and end byte-identical to an
+// uninterrupted in-memory daemon fed the same stream.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-injection run skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "blameitd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "blameit/cmd/blameitd").CombinedOutput(); err != nil {
+		t.Fatalf("building blameitd: %v\n%s", err, out)
+	}
+
+	// The feed mirrors cmd/blameitd's seed derivation for -seed 42, so
+	// the daemon's regenerated world matches the trace producer's.
+	const seed = 42
+	w := topology.Generate(topology.SmallScale(), seed)
+	horizon := netmodel.Bucket(netmodel.BucketsPerDay)
+	fs := faults.Generate(w, faults.DefaultGenerateConfig(), horizon, seed+1).Faults
+	tbl := bgp.NewTable(w, bgp.DefaultChurnConfig(), horizon, seed+2)
+	feed := sim.New(w, tbl, faults.NewSchedule(fs), sim.DefaultConfig(seed+3))
+	const buckets = 96
+	streams := simStreams(feed, buckets)
+
+	worldArgs := []string{
+		"-addr", "127.0.0.1:0", "-scale", "small", "-seed", "42",
+		"-workload", "random", "-warmup", "0", "-days", "1",
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	feedRange := func(t *testing.T, base string, from, to int) {
+		t.Helper()
+		for b := from; b < to; b++ {
+			postWithRetry(t, client, base+"/v1/ingest", jsonlBody(t, streams[b]))
+			if st, body := postSeal(t, client, base, netmodel.Bucket(b)); st != http.StatusAccepted {
+				t.Fatalf("seal %d = %d (%s)", b, st, body)
+			}
+		}
+	}
+
+	// Control: an uninterrupted in-memory daemon over the same feed.
+	ctl := startDaemon(t, bin, worldArgs)
+	feedRange(t, ctl.base, 0, buckets)
+	httpQuiesce(t, client, ctl.base, buckets-1)
+	want := collectCanonical(t, client, ctl.base)
+	wantIdx := reportsIndex(t, client, ctl.base)
+	ctl.kill(t)
+	if len(want) == 0 {
+		t.Fatal("control daemon produced no reports")
+	}
+
+	// Kill arm: 20 seeded kill -9 points over one WAL directory.
+	rng := rand.New(rand.NewSource(4211))
+	killSet := map[int]bool{}
+	for len(killSet) < 20 {
+		killSet[1+rng.Intn(buckets-2)] = true
+	}
+	kills := make([]int, 0, 20)
+	for b := range killSet {
+		kills = append(kills, b)
+	}
+	sort.Ints(kills)
+
+	dataDir := filepath.Join(tmp, "wal")
+	walArgs := append(append([]string{}, worldArgs...), "-data-dir", dataDir, "-fsync", "off", "-compact-every", "6")
+	d := startDaemon(t, bin, walArgs)
+	next := 0
+	for i, kb := range kills {
+		feedRange(t, d.base, next, kb+1)
+		next = kb + 1
+		if i%2 == 0 {
+			// Sealed-bucket boundary: every acked record consumed.
+			httpQuiesce(t, client, d.base, netmodel.Bucket(kb))
+		} // else: mid-window, the seal acked but the backend wherever it is
+		d.kill(t)
+		d = startDaemon(t, bin, walArgs)
+	}
+	feedRange(t, d.base, next, buckets)
+	httpQuiesce(t, client, d.base, buckets-1)
+
+	got := collectCanonical(t, client, d.base)
+	gotIdx := reportsIndex(t, client, d.base)
+	if !bytes.Equal(got, want) {
+		t.Errorf("reports diverged after %d kill -9/recover cycles (%d vs %d bytes)", len(kills), len(got), len(want))
+	}
+	if !bytes.Equal(gotIdx, wantIdx) {
+		t.Errorf("report index diverged:\n got %s\nwant %s", gotIdx, wantIdx)
+	}
+	resp, err := client.Get(d.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.WAL == nil || h.WAL.RecoveryInconsistent != 0 || h.WAL.Degraded {
+		t.Errorf("final daemon WAL health: %+v", h.WAL)
+	}
+	d.kill(t)
+}

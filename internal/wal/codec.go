@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// Record framing. Every record is
+//
+//	[uint32 payload length][uint32 CRC-32C of payload][payload]
+//
+// little-endian, where payload is one type byte followed by the
+// type-specific body. The CRC covers the whole payload, so a torn write —
+// a partial length, a partial payload, or a payload that never made it to
+// disk at all — fails validation and the scanner truncates the log at the
+// last record that checks out. Lengths are validated against the
+// configured maximum before any allocation, so a corrupt length field
+// (even one that survives the CRC of some earlier record) cannot drive an
+// out-of-memory allocation.
+const (
+	frameHeader = 8 // uint32 length + uint32 crc
+
+	recMeta     = 0x01 // configuration fingerprint; first record of every segment
+	recSnapshot = 0x02 // compaction marker: supersedes all lower segments
+	recBatch    = 0x03 // one accepted ingest batch, in queue push order
+	recBucket   = 0x04 // one consumed bucket: the exact stream served to the pipeline
+	recSeal     = 0x05 // one explicit watermark advance
+	recReport   = 0x06 // one published report's canonical JSON
+	recAggBatch = 0x07 // one accepted /v1/aggregates cell batch
+	recAggFlush = 0x08 // one aggregate flush trigger (buckets <= through flushed)
+)
+
+// segment file header: magic + format version.
+const (
+	segMagic   = "BLAMEWAL"
+	segVersion = 1
+	segHeader  = len(segMagic) + 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame frames one payload (type byte already included) onto buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// rawRecord is one CRC-valid record as scanned from a segment, with its
+// decoded body. The body slice aliases the scanned file buffer; decoded
+// values own their memory.
+type rawRecord struct {
+	typ  byte
+	body []byte
+	val  any
+}
+
+// scanRecords walks data (a segment's bytes after the header) and returns
+// the longest prefix of frame-valid, body-decodable records plus the byte
+// offset where that prefix ends. Anything after the returned offset —
+// a torn frame, a CRC mismatch, an over-long length, an unknown type, or
+// an undecodable body — is the corrupt tail the caller truncates.
+func scanRecords(data []byte, maxRecord int64) (recs []rawRecord, valid int64) {
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return recs, off
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if n == 0 || n > maxRecord || n > int64(len(rest))-frameHeader {
+			return recs, off
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, off
+		}
+		typ, body := payload[0], payload[1:]
+		val, ok := decodeBody(typ, body)
+		if !ok {
+			return recs, off
+		}
+		recs = append(recs, rawRecord{typ: typ, body: body, val: val})
+		off += frameHeader + n
+	}
+}
+
+// reader is a bounds-checked cursor over a record body. Any overrun sets
+// err and subsequent reads return zero values, so decoders can read the
+// whole shape and check err once.
+type reader struct {
+	b   []byte
+	err bool
+}
+
+func (r *reader) varint() int64 {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.err = true
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = true
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if len(r.b) < 8 {
+		r.err = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) rest() []byte {
+	b := r.b
+	r.b = nil
+	return b
+}
+
+func (r *reader) empty() bool { return len(r.b) == 0 }
+
+// Observation codec: varints for the integer fields (chaos-corrupted
+// records can carry negative samples or clients, so everything is
+// sign-aware) and the raw IEEE bits for MeanRTT so NaN and ±Inf round-trip
+// exactly — the quarantine must see post-restart exactly what it saw live.
+const minObsBytes = 5 + 8 + 1 // five 1-byte varints, 8-byte float, 1-byte varint
+
+func appendObs(buf []byte, obs []trace.Observation) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(obs)))
+	for i := range obs {
+		o := &obs[i]
+		buf = binary.AppendVarint(buf, int64(o.Prefix))
+		buf = binary.AppendVarint(buf, int64(o.Cloud))
+		buf = binary.AppendVarint(buf, int64(o.Device))
+		buf = binary.AppendVarint(buf, int64(o.Bucket))
+		buf = binary.AppendVarint(buf, int64(o.Samples))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.MeanRTT))
+		buf = binary.AppendVarint(buf, int64(o.Clients))
+	}
+	return buf
+}
+
+func readObs(r *reader) []trace.Observation {
+	n := r.uvarint()
+	if r.err || n > uint64(len(r.b)/minObsBytes)+1 {
+		r.err = true
+		return nil
+	}
+	obs := make([]trace.Observation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var o trace.Observation
+		o.Prefix = netmodel.PrefixID(r.varint())
+		o.Cloud = netmodel.CloudID(r.varint())
+		o.Device = netmodel.DeviceClass(r.varint())
+		o.Bucket = netmodel.Bucket(r.varint())
+		o.Samples = int(r.varint())
+		o.MeanRTT = r.f64()
+		o.Clients = int(r.varint())
+		if r.err {
+			return nil
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+const minCellBytes = 9 + 8 // nine 1-byte varints, 8-byte float
+
+func appendCells(buf []byte, cells []ingest.AggCell) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(cells)))
+	for i := range cells {
+		c := &cells[i]
+		buf = binary.AppendVarint(buf, int64(c.Agent))
+		buf = binary.AppendVarint(buf, int64(c.Epoch))
+		buf = binary.AppendVarint(buf, c.Seq)
+		buf = binary.AppendVarint(buf, int64(c.Bucket))
+		buf = binary.AppendVarint(buf, int64(c.Prefix))
+		buf = binary.AppendVarint(buf, int64(c.Cloud))
+		buf = binary.AppendVarint(buf, int64(c.Device))
+		buf = binary.AppendVarint(buf, int64(c.Samples))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.MeanRTT))
+		buf = binary.AppendVarint(buf, int64(c.Clients))
+	}
+	return buf
+}
+
+func readCells(r *reader) []ingest.AggCell {
+	n := r.uvarint()
+	if r.err || n > uint64(len(r.b)/minCellBytes)+1 {
+		r.err = true
+		return nil
+	}
+	cells := make([]ingest.AggCell, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var c ingest.AggCell
+		c.Agent = int(r.varint())
+		c.Epoch = int(r.varint())
+		c.Seq = r.varint()
+		c.Bucket = netmodel.Bucket(r.varint())
+		c.Prefix = netmodel.PrefixID(r.varint())
+		c.Cloud = netmodel.CloudID(r.varint())
+		c.Device = netmodel.DeviceClass(r.varint())
+		c.Samples = int(r.varint())
+		c.MeanRTT = r.f64()
+		c.Clients = int(r.varint())
+		if r.err {
+			return nil
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// snapshotRec is the compaction marker. DroppedConsumed accounts, per
+// bucket, for consumed records whose originating batch records were
+// dropped by compaction — recovery subtracts them from the consumed
+// totals when computing how many leftover batch records to skip.
+type snapshotRec struct {
+	supersedes uint64
+	aggHigh    int64
+	dropped    map[netmodel.Bucket]int64
+}
+
+func appendSnapshot(buf []byte, s snapshotRec) []byte {
+	buf = binary.AppendUvarint(buf, s.supersedes)
+	buf = binary.AppendVarint(buf, s.aggHigh)
+	buf = binary.AppendUvarint(buf, uint64(len(s.dropped)))
+	for _, b := range sortedBuckets(s.dropped) {
+		buf = binary.AppendVarint(buf, int64(b))
+		buf = binary.AppendVarint(buf, s.dropped[b])
+	}
+	return buf
+}
+
+func readSnapshot(r *reader) snapshotRec {
+	s := snapshotRec{supersedes: r.uvarint(), aggHigh: r.varint()}
+	n := r.uvarint()
+	if r.err || n > uint64(len(r.b)/2)+1 {
+		r.err = true
+		return s
+	}
+	s.dropped = make(map[netmodel.Bucket]int64, n)
+	for i := uint64(0); i < n; i++ {
+		b := netmodel.Bucket(r.varint())
+		s.dropped[b] = r.varint()
+	}
+	return s
+}
+
+// decodeBody decodes one record body by type. A false return marks the
+// record — and everything after it — as the corrupt tail.
+func decodeBody(typ byte, body []byte) (any, bool) {
+	r := &reader{b: body}
+	switch typ {
+	case recMeta:
+		return string(body), true
+	case recSnapshot:
+		s := readSnapshot(r)
+		return s, !r.err && r.empty()
+	case recBatch:
+		obs := readObs(r)
+		return obs, !r.err && r.empty()
+	case recBucket:
+		b := netmodel.Bucket(r.varint())
+		obs := readObs(r)
+		return BucketStream{Bucket: b, Obs: obs}, !r.err && r.empty()
+	case recSeal:
+		b := netmodel.Bucket(r.varint())
+		return b, !r.err && r.empty()
+	case recReport:
+		rep := Report{
+			Seq:  r.varint(),
+			From: netmodel.Bucket(r.varint()),
+			To:   netmodel.Bucket(r.varint()),
+		}
+		flag := r.varint()
+		rep.Final = flag != 0
+		rep.Canonical = append([]byte(nil), r.rest()...)
+		return rep, !r.err
+	case recAggBatch:
+		cells := readCells(r)
+		return cells, !r.err && r.empty()
+	case recAggFlush:
+		b := netmodel.Bucket(r.varint())
+		return b, !r.err && r.empty()
+	}
+	return nil, false
+}
+
+func sortedBuckets(m map[netmodel.Bucket]int64) []netmodel.Bucket {
+	out := make([]netmodel.Bucket, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// Compact rewrites the log without the records that have become
+// redundant now that their buckets' reports are durable:
+//
+//   - Batch records whose observations were all consumed (they are
+//     restated, in served order, by the bucket records) and whose buckets
+//     are covered by a durable report are dropped; the snapshot carries
+//     per-bucket dropped counts so this pass's own FIFO availability math
+//     stays exact across repeated compactions. Partially consumed batches
+//     are kept whole.
+//   - Seal records collapse to the single highest one.
+//   - The aggregate feed's prefix of fully flushed (batch, flush) events
+//     is dropped; the snapshot carries the high-bucket state the dropped
+//     prefix established.
+//
+// Bucket and report records are never dropped: the pipeline's learned
+// state (thresholds, windows, budget, quarantine books) is a function of
+// the full consumed history, and replay-from-zero is what makes recovery
+// byte-exact. The WAL's steady state is therefore one copy of the
+// consumed trace plus the report log — the durable incident record.
+//
+// The rewrite is crash-safe at every step: the filtered log is written to
+// a .tmp file, fsynced, renamed to the next segment number (its snapshot
+// record marks every lower segment superseded), the directory is fsynced,
+// and only then are the old segments deleted. A kill between any two
+// steps leaves either the old segments authoritative (tmp files are
+// deleted on open) or both generations present with the snapshot marker
+// deciding in favor of the new one.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+
+	// Re-scan everything from disk — the files are the source of truth.
+	var seqs []uint64
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &seq); err == nil && !isTmp(e.Name()) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sortU64(seqs)
+	var all []rawRecord
+	for _, seq := range seqs {
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(seq)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if len(data) < segHeader {
+			continue
+		}
+		recs, _ := scanRecords(data[segHeader:], l.cfg.MaxRecordBytes)
+		all = append(all, recs...)
+	}
+
+	kept, snap := filterForCompaction(all)
+	snap.supersedes = l.seq // every existing segment is restated
+
+	// Phase 1: write the rewrite to a tmp file.
+	if !l.step("begin") {
+		return nil
+	}
+	var extra []byte
+	extra = appendFrame(extra, appendSnapshot([]byte{recSnapshot}, snap))
+	for _, r := range kept {
+		payload := make([]byte, 0, 1+len(r.body))
+		payload = append(payload, r.typ)
+		payload = append(payload, r.body...)
+		extra = appendFrame(extra, payload)
+	}
+	newSeq := l.seq + 1
+	tmpPath := filepath.Join(l.dir, segName(newSeq)+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, 0, segHeader)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, byte(segVersion), 0, 0, 0)
+	hdr = appendFrame(hdr, append([]byte{recMeta}, l.cfg.Meta...))
+	if _, err := tmp.Write(hdr); err == nil {
+		_, err = tmp.Write(extra)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: %w", err)
+	}
+
+	// Phase 2: make the rewrite authoritative.
+	if !l.step("pre-rename") {
+		os.Remove(tmpPath)
+		return nil
+	}
+	newPath := filepath.Join(l.dir, segName(newSeq))
+	if err := os.Rename(tmpPath, newPath); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(l.dir)
+
+	// Phase 3: retire the old generation and append to the new segment.
+	if !l.step("pre-delete") {
+		// Crash point: both generations on disk. Open resolves via the
+		// snapshot's supersede marker. The in-memory log still appends to
+		// the old active segment, which recovery will ignore — but this
+		// branch only exists for tests, which stop here.
+		return nil
+	}
+	for _, seq := range seqs {
+		os.Remove(filepath.Join(l.dir, segName(seq)))
+	}
+	syncDir(l.dir)
+	f, err := os.OpenFile(newPath, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f.Close()
+	l.f, l.size, l.seq = f, st.Size(), newSeq
+	l.stats.Segments = 1
+	l.stats.Compactions++
+	return nil
+}
+
+func (l *Log) step(phase string) bool {
+	if l.compactStep == nil {
+		return true
+	}
+	return l.compactStep(phase)
+}
+
+// filterForCompaction decides which records the rewrite keeps and builds
+// the snapshot that carries the dropped records' accounting.
+func filterForCompaction(all []rawRecord) (kept []rawRecord, snap snapshotRec) {
+	snap = snapshotRec{aggHigh: -1, dropped: map[netmodel.Bucket]int64{}}
+
+	// Carry forward the bookkeeping of any previous compaction.
+	consumed := map[netmodel.Bucket]int64{}
+	maxReportTo := netmodel.Bucket(-1)
+	var maxSeal netmodel.Bucket = -1
+	maxSealIdx := -1
+	for i, r := range all {
+		switch r.typ {
+		case recSnapshot:
+			s := r.val.(snapshotRec)
+			for b, n := range s.dropped {
+				snap.dropped[b] += n
+			}
+			if s.aggHigh > snap.aggHigh {
+				snap.aggHigh = s.aggHigh
+			}
+		case recBucket:
+			for _, o := range r.val.(BucketStream).Obs {
+				consumed[o.Bucket]++
+			}
+		case recReport:
+			if rep := r.val.(Report); rep.To > maxReportTo {
+				maxReportTo = rep.To
+			}
+		case recSeal:
+			if b := r.val.(netmodel.Bucket); b >= maxSeal {
+				maxSeal, maxSealIdx = b, i
+			}
+		}
+	}
+	// Records already dropped by earlier compactions consumed part of the
+	// totals; only the remainder is assignable to surviving batches.
+	avail := map[netmodel.Bucket]int64{}
+	for b, n := range consumed {
+		avail[b] = n - snap.dropped[b]
+	}
+
+	// The aggregate prefix: batches fully covered by a later flush, and
+	// the flushes between them, replay to a no-op.
+	aggMaxFlush := make([]netmodel.Bucket, len(all))
+	running := netmodel.Bucket(-1)
+	for i := len(all) - 1; i >= 0; i-- {
+		aggMaxFlush[i] = running
+		if all[i].typ == recAggFlush {
+			if b := all[i].val.(netmodel.Bucket); b > running {
+				running = b
+			}
+		}
+	}
+	aggPrefix := true
+
+	drop := make([]bool, len(all))
+	for i, r := range all {
+		switch r.typ {
+		case recMeta, recSnapshot:
+			drop[i] = true // restated by the new segment's own header
+		case recSeal:
+			drop[i] = i != maxSealIdx
+		case recBatch:
+			obs := r.val.([]trace.Observation)
+			droppable := true
+			for _, o := range obs {
+				if avail[o.Bucket] < 1 || o.Bucket > maxReportTo {
+					droppable = false
+					break
+				}
+			}
+			// FIFO accounting: whether dropped or kept, this batch's
+			// records consume availability ahead of later batches.
+			if droppable {
+				for _, o := range obs {
+					avail[o.Bucket]--
+					snap.dropped[o.Bucket]++
+				}
+				drop[i] = true
+			} else {
+				for _, o := range obs {
+					if avail[o.Bucket] > 0 {
+						avail[o.Bucket]--
+					}
+				}
+			}
+		}
+	}
+
+	// Aggregate events: walk forward, dropping the fully flushed prefix.
+	for i, r := range all {
+		switch r.typ {
+		case recAggBatch:
+			if !aggPrefix {
+				continue
+			}
+			high := netmodel.Bucket(-1)
+			for _, c := range r.val.([]ingest.AggCell) {
+				if c.Bucket > high {
+					high = c.Bucket
+				}
+			}
+			if high <= aggMaxFlush[i] {
+				drop[i] = true
+				if int64(high) > snap.aggHigh {
+					snap.aggHigh = int64(high)
+				}
+			} else {
+				aggPrefix = false
+			}
+		case recAggFlush:
+			if aggPrefix {
+				drop[i] = true
+			}
+		}
+	}
+
+	for i, r := range all {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, snap
+}
+
+func isTmp(name string) bool {
+	return len(name) > 4 && name[len(name)-4:] == ".tmp"
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

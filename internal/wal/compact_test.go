@@ -1,0 +1,317 @@
+package wal
+
+import (
+	"testing"
+
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// populate writes a realistic history: batches pushed, buckets consumed,
+// reports published, an aggregate prefix flushed, plus a leftover
+// unconsumed batch and an unflushed aggregate batch that compaction must
+// keep.
+func populate(t *testing.T, l *Log) {
+	t.Helper()
+	for b := netmodel.Bucket(0); b < 6; b++ {
+		obs := obsFor(b, 4)
+		if err := l.AppendBatch(obs); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendBucket(b, obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendSeal(5); err != nil {
+		t.Fatal(err)
+	}
+	for i, to := range []netmodel.Bucket{2, 5} {
+		rep := Report{Seq: int64(i), From: 3 * netmodel.Bucket(i), To: to, Canonical: []byte("{}\n")}
+		if err := l.AppendReport(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Aggregate feed: one fully flushed batch, one still buffered.
+	flushed := []ingest.AggCell{{Agent: 1, Bucket: 2, Samples: 5, MeanRTT: 10, Clients: 1}}
+	if err := l.AppendAggBatch(flushed); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAggFlush(3); err != nil {
+		t.Fatal(err)
+	}
+	pendingCells := []ingest.AggCell{{Agent: 2, Bucket: 9, Samples: 5, MeanRTT: 11, Clients: 1}}
+	if err := l.AppendAggBatch(pendingCells); err != nil {
+		t.Fatal(err)
+	}
+	// A batch for a bucket past the last report: not yet droppable.
+	if err := l.AppendBatch(obsFor(7, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recoveryProjection is the replay-relevant state: what the server would
+// actually reconstruct. Compaction must preserve it exactly.
+type projection struct {
+	buckets   []BucketStream
+	leftovers [][]trace.Observation // per-batch records no read settled
+	reports   []Report
+	maxSeal   netmodel.Bucket
+	aggCells  [][]ingest.AggCell // batches surviving the flush replay
+}
+
+func project(rec *Recovery) projection {
+	p := projection{buckets: rec.Buckets, reports: rec.Reports, maxSeal: rec.MaxSeal}
+	// Mirror the server's leftover reconstruction: simulate each record's
+	// fate against the reads that followed its batch's arrival.
+	for _, batch := range rec.Batches {
+		n := batch.AfterBuckets
+		frontier := netmodel.Bucket(0)
+		if n > 0 {
+			frontier = rec.Buckets[n-1].Bucket + 1
+		}
+		var left []trace.Observation
+		for _, o := range batch.Obs {
+			if o.Bucket < frontier {
+				if n == len(rec.Buckets) { // stale-held at the crash
+					left = append(left, o)
+				}
+				continue
+			}
+			settled := false
+			for j := n; j < len(rec.Buckets); j++ {
+				if rec.Buckets[j].Bucket >= o.Bucket {
+					settled = true
+					break
+				}
+			}
+			if !settled {
+				left = append(left, o)
+			}
+		}
+		if len(left) > 0 {
+			p.leftovers = append(p.leftovers, left)
+		}
+	}
+	// Replay the aggregate events: a flush discards buffered cells at or
+	// below its threshold.
+	var buffered [][]ingest.AggCell
+	for _, ev := range rec.AggEvents {
+		if !ev.Flush {
+			buffered = append(buffered, ev.Cells)
+			continue
+		}
+		var kept [][]ingest.AggCell
+		for _, cells := range buffered {
+			var still []ingest.AggCell
+			for _, c := range cells {
+				if c.Bucket > ev.Through {
+					still = append(still, c)
+				}
+			}
+			if len(still) > 0 {
+				kept = append(kept, still)
+			}
+		}
+		buffered = kept
+	}
+	p.aggCells = buffered
+	return p
+}
+
+func checkProjectionsEqual(t *testing.T, got, want projection) {
+	t.Helper()
+	if len(got.buckets) != len(want.buckets) {
+		t.Fatalf("bucket streams: %d, want %d", len(got.buckets), len(want.buckets))
+	}
+	for i := range want.buckets {
+		if got.buckets[i].Bucket != want.buckets[i].Bucket || !obsEqual(got.buckets[i].Obs, want.buckets[i].Obs) {
+			t.Fatalf("bucket stream %d differs", i)
+		}
+	}
+	if len(got.leftovers) != len(want.leftovers) {
+		t.Fatalf("leftover batches: %d, want %d", len(got.leftovers), len(want.leftovers))
+	}
+	for i := range want.leftovers {
+		if !obsEqual(got.leftovers[i], want.leftovers[i]) {
+			t.Fatalf("leftover batch %d differs", i)
+		}
+	}
+	if len(got.reports) != len(want.reports) {
+		t.Fatalf("reports: %d, want %d", len(got.reports), len(want.reports))
+	}
+	if got.maxSeal != want.maxSeal {
+		t.Fatalf("maxSeal: %d, want %d", got.maxSeal, want.maxSeal)
+	}
+	if len(got.aggCells) != len(want.aggCells) {
+		t.Fatalf("buffered agg batches: %d, want %d", len(got.aggCells), len(want.aggCells))
+	}
+}
+
+func TestCompactionPreservesRecovery(t *testing.T) {
+	dirRef := t.TempDir()
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	lRef, _, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, lRef)
+	lRef.Close()
+	_, recRef, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(recRef)
+
+	dir := t.TempDir()
+	l, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, l)
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Post-compaction appends must land in the new segment.
+	if err := l.AppendSeal(11); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Compactions != 1 {
+		t.Fatalf("Compactions = %d, want 1", st.Compactions)
+	}
+	l.Close()
+
+	_, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	want.maxSeal = 11
+	checkProjectionsEqual(t, project(rec), want)
+
+	// The droppable records must actually be gone: consumed batches and
+	// the flushed aggregate prefix.
+	if len(rec.Batches) >= 7 {
+		t.Fatalf("compaction kept %d batches; consumed ones should be dropped", len(rec.Batches))
+	}
+	if len(rec.AggEvents) >= 3 {
+		t.Fatalf("compaction kept %d agg events; the flushed prefix should be dropped", len(rec.AggEvents))
+	}
+}
+
+// TestCompactionCrashPoints kills the compaction at each protocol phase
+// and verifies a reopen recovers the same state as no compaction at all.
+func TestCompactionCrashPoints(t *testing.T) {
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	dirRef := t.TempDir()
+	lRef, _, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, lRef)
+	lRef.Close()
+	_, recRef, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(recRef)
+
+	for _, crashAt := range []string{"begin", "pre-rename", "pre-delete"} {
+		t.Run(crashAt, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			populate(t, l)
+			l.compactStep = func(phase string) bool { return phase != crashAt }
+			if err := l.Compact(); err != nil {
+				t.Fatalf("Compact: %v", err)
+			}
+			l.Abandon() // the simulated kill
+
+			_, rec, err := Open(dir, cfg)
+			if err != nil {
+				t.Fatalf("reopen after crash at %s: %v", crashAt, err)
+			}
+			checkProjectionsEqual(t, project(rec), want)
+
+			// And the directory must be fully usable: a second, untampered
+			// compaction still works.
+			l2, _, err := Open(dir, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Compact(); err != nil {
+				t.Fatalf("compaction after crash recovery: %v", err)
+			}
+			l2.Close()
+			_, rec2, err := Open(dir, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkProjectionsEqual(t, project(rec2), want)
+		})
+	}
+}
+
+// TestDoubleCompaction verifies the dropped-count bookkeeping carries
+// across compactions: a second pass over new history must project to the
+// same replay state as a log never compacted at all.
+func TestDoubleCompaction(t *testing.T) {
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	extend := func(l *Log) {
+		// Consume the leftover bucket-7 batch populate pushed, plus a new
+		// one, and cover both with a report.
+		obs := obsFor(7, 3)
+		if err := l.AppendBatch(obs); err != nil {
+			t.Fatal(err)
+		}
+		served := append(append([]trace.Observation(nil), obsFor(7, 3)...), obs...)
+		if err := l.AppendBucket(7, served); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendReport(Report{Seq: 2, From: 6, To: 8, Canonical: []byte("{}\n")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dirRef := t.TempDir()
+	lRef, _, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, lRef)
+	extend(lRef)
+	lRef.Close()
+	_, recRef, err := Open(dirRef, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(recRef)
+
+	dir := t.TempDir()
+	l, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, l)
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	extend(l)
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := project(rec)
+	checkProjectionsEqual(t, p, want)
+	// Everything pushed is now consumed and reported: no leftovers, and
+	// no negative-skip phantom records either.
+	if len(p.leftovers) != 0 {
+		t.Fatalf("leftovers after double compaction: %d batches, want 0", len(p.leftovers))
+	}
+}

@@ -1,0 +1,601 @@
+// Package wal is blameitd's durability layer: a checksummed,
+// length-prefixed, append-only write-ahead log over rotating segment
+// files. The daemon journals the ingest queue's externally visible events
+// — accepted batches, explicit seals, and the exact per-bucket streams
+// the pipeline consumed — plus every published report and the aggregate
+// feed's accepted cell batches. Because the pipeline's state is a
+// deterministic function of the consumed observation streams, replaying
+// the journaled buckets through the unchanged WarmupContext/StepContext
+// path reconstructs the backend exactly, and a restart (including kill -9
+// mid-window) serves /v1/reports byte-identical to an uninterrupted run.
+//
+// Durability semantics by fsync policy:
+//
+//	always    every append reaches the disk before the caller proceeds —
+//	          acknowledged data survives power loss.
+//	interval  a background flusher syncs on a timer — acknowledged data
+//	          survives process death; power loss can lose the last window.
+//	off       the OS flushes when it pleases — acknowledged data survives
+//	          process death only.
+//
+// Process death (kill -9 included) never loses an acknowledged record
+// under any policy: every append is one write(2) of a fully framed record
+// with no userspace buffering, and the kernel keeps page-cache writes
+// from dead processes. fsync only moves the power-loss line.
+//
+// Torn and corrupt tails: the scanner validates every record's CRC and
+// body on open, truncates the log at the last valid record, deletes any
+// later segments, and reports the discarded byte count so the daemon can
+// surface it in /healthz.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+// Policy selects when appended records are fsynced.
+type Policy string
+
+const (
+	SyncAlways   Policy = "always"
+	SyncInterval Policy = "interval"
+	SyncOff      Policy = "off"
+)
+
+// ParsePolicy resolves a -fsync flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case SyncAlways, SyncInterval, SyncOff:
+		return Policy(s), nil
+	case "":
+		return SyncInterval, nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Config tunes the log. Zero values take the defaults below.
+type Config struct {
+	// Fsync is the durability policy; see the package comment.
+	Fsync Policy
+	// FsyncInterval is the flush cadence under SyncInterval.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it would exceed this.
+	SegmentBytes int64
+	// MaxRecordBytes bounds one record; larger appends fail and larger
+	// lengths found on disk are treated as corruption.
+	MaxRecordBytes int64
+	// Meta is the daemon's configuration fingerprint. It is journaled as
+	// the first record of every segment and must match on reopen: a WAL
+	// replayed under different pipeline flags would diverge silently, so
+	// a mismatch refuses to open instead.
+	Meta string
+}
+
+const (
+	DefaultFsyncInterval  = 100 * time.Millisecond
+	DefaultSegmentBytes   = 64 << 20
+	DefaultMaxRecordBytes = 64 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.Fsync == "" {
+		c.Fsync = SyncInterval
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = DefaultFsyncInterval
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.MaxRecordBytes <= 0 {
+		c.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	return c
+}
+
+// ErrMetaMismatch means the directory's WAL was written by a daemon with
+// different configuration; replaying it here would diverge.
+var ErrMetaMismatch = errors.New("wal: configuration fingerprint mismatch")
+
+// Stats is a point-in-time view of the log's activity.
+type Stats struct {
+	AppendedRecords int64
+	AppendedBytes   int64
+	Syncs           int64
+	// LagRecords counts appended records not yet fsynced — the window a
+	// power loss (not a process death) could lose.
+	LagRecords  int64
+	Segments    int
+	Compactions int64
+}
+
+// BucketStream is one consumed bucket: the exact observation stream —
+// stale arrivals first, then pending records in arrival order — the
+// ingest queue served to the pipeline.
+type BucketStream struct {
+	Bucket netmodel.Bucket
+	Obs    []trace.Observation
+}
+
+// Report is one journaled published report.
+type Report struct {
+	Seq       int64
+	From, To  netmodel.Bucket
+	Final     bool
+	Canonical []byte
+	// AfterBuckets is how many consumed-bucket records preceded this
+	// report in the log. It is derived at scan time, not encoded:
+	// recovery uses it to re-apply a drain flush's window discard at the
+	// right point in the replayed consume sequence.
+	AfterBuckets int
+}
+
+// Batch is one accepted ingest batch in push order.
+type Batch struct {
+	Obs []trace.Observation
+	// AfterBuckets is how many consumed-bucket records preceded this
+	// batch in the log — i.e. which reads had already happened when it
+	// arrived. Derived at scan time, like Report.AfterBuckets: recovery
+	// simulates each record's fate (served, discarded, or still queued)
+	// against the reads that followed the batch.
+	AfterBuckets int
+}
+
+// AggEvent is one aggregate-feed event in arrival order: either an
+// accepted cell batch or a flush trigger.
+type AggEvent struct {
+	Flush   bool
+	Through netmodel.Bucket
+	Cells   []ingest.AggCell
+}
+
+// Recovery is everything a scan of the directory reconstructs.
+type Recovery struct {
+	// Buckets are the consumed per-bucket streams, in consumption order.
+	Buckets []BucketStream
+	// Batches are the accepted-but-possibly-unconsumed ingest batches in
+	// push order. Recovery re-pushes what the consumed streams did not
+	// already settle.
+	Batches []Batch
+	// Reports are the journaled published reports in publish order.
+	Reports []Report
+	// MaxSeal is the highest explicitly sealed bucket, or -1.
+	MaxSeal netmodel.Bucket
+	// AggEvents replays the aggregate buffer's history.
+	AggEvents []AggEvent
+	// AggHigh carries compaction bookkeeping forward; see snapshotRec.
+	AggHigh netmodel.Bucket
+	// TruncatedBytes is how much corrupt tail the open discarded.
+	TruncatedBytes int64
+	Segments       int
+
+	// Snapshot bookkeeping from the scan.
+	supersedes  uint64
+	hasSnapshot bool
+}
+
+// Empty reports whether the scan found nothing to replay.
+func (r *Recovery) Empty() bool {
+	return len(r.Buckets) == 0 && len(r.Batches) == 0 && len(r.Reports) == 0 &&
+		r.MaxSeal < 0 && len(r.AggEvents) == 0
+}
+
+// Log is the append side. All methods are safe for concurrent use.
+type Log struct {
+	dir string
+	cfg Config
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64 // active segment sequence number
+	size   int64  // active segment size
+	stats  Stats
+	closed bool
+
+	buf []byte // scratch frame buffer, reused under mu
+
+	stop     chan struct{} // interval flusher shutdown
+	syncDone chan struct{}
+
+	// compactStep, when set (tests), is called between compaction phases
+	// so crash points inside the compaction protocol can be exercised
+	// deterministically. Returning false abandons the compaction at that
+	// point, as a kill would.
+	compactStep func(phase string) bool
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("wal-%010d.log", seq) }
+
+// Open scans dir (created if missing), recovers its contents, truncates
+// any corrupt tail, and returns the log opened for append plus the
+// recovery state. The returned Recovery is never nil.
+func Open(dir string, cfg Config) (*Log, *Recovery, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A compaction that died before its rename; its contents are
+			// not part of the log.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "wal-%d.log", &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	rec := &Recovery{MaxSeal: -1, AggHigh: -1}
+	l := &Log{dir: dir, cfg: cfg}
+
+	// Scan segments in order. The first corruption truncates: the file is
+	// cut back to its last valid record and every later segment is
+	// discarded — replay needs a consistent prefix, and anything after a
+	// corrupt record has no trustworthy ordering against it.
+	truncatedFrom := -1
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		if len(data) < segHeader || string(data[:len(segMagic)]) != segMagic {
+			rec.TruncatedBytes += int64(len(data))
+			os.Remove(path)
+			truncatedFrom = i
+			break
+		}
+		recs, valid := scanRecords(data[segHeader:], cfg.MaxRecordBytes)
+		if err := interpret(rec, recs, cfg.Meta); err != nil {
+			return nil, nil, err
+		}
+		if int(valid) < len(data)-segHeader {
+			rec.TruncatedBytes += int64(len(data)-segHeader) - valid
+			if err := os.Truncate(path, int64(segHeader)+valid); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating corrupt tail: %w", err)
+			}
+			truncatedFrom = i + 1
+			break
+		}
+	}
+	if truncatedFrom >= 0 {
+		for _, seq := range seqs[truncatedFrom:] {
+			path := filepath.Join(dir, segName(seq))
+			if st, err := os.Stat(path); err == nil {
+				rec.TruncatedBytes += st.Size()
+			}
+			os.Remove(path)
+		}
+		seqs = seqs[:truncatedFrom]
+	}
+
+	// Drop segments a surviving snapshot superseded: a compaction that
+	// renamed its rewrite but died before deleting the originals leaves
+	// both on disk, and the snapshot marker says which to trust.
+	if super, ok := maxSupersedes(rec); ok {
+		kept := seqs[:0]
+		for _, seq := range seqs {
+			if seq <= super {
+				os.Remove(filepath.Join(dir, segName(seq)))
+				continue
+			}
+			kept = append(kept, seq)
+		}
+		seqs = kept
+	}
+	rec.Segments = len(seqs)
+
+	if len(seqs) == 0 {
+		l.seq = 1
+		f, size, err := l.createSegment(l.seq, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		l.f, l.size = f, size
+	} else {
+		l.seq = seqs[len(seqs)-1]
+		path := filepath.Join(dir, segName(l.seq))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f, l.size = f, st.Size()
+	}
+	l.stats.Segments = len(seqs)
+	if l.stats.Segments == 0 {
+		l.stats.Segments = 1
+	}
+
+	if cfg.Fsync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.flusher()
+	}
+	return l, rec, nil
+}
+
+// interpret folds scanned records into the recovery state. A snapshot
+// record resets it: the compacted segment restates everything that still
+// matters from the segments it supersedes.
+func interpret(rec *Recovery, recs []rawRecord, wantMeta string) error {
+	for _, r := range recs {
+		switch r.typ {
+		case recMeta:
+			if got := r.val.(string); got != wantMeta {
+				return fmt.Errorf("%w: log written under %q, reopened under %q", ErrMetaMismatch, got, wantMeta)
+			}
+		case recSnapshot:
+			s := r.val.(snapshotRec)
+			rec.Buckets, rec.Batches, rec.Reports = nil, nil, nil
+			rec.AggEvents = nil
+			rec.MaxSeal = -1
+			rec.AggHigh = netmodel.Bucket(s.aggHigh)
+			rec.supersedes, rec.hasSnapshot = s.supersedes, true
+		case recBatch:
+			rec.Batches = append(rec.Batches, Batch{Obs: r.val.([]trace.Observation), AfterBuckets: len(rec.Buckets)})
+		case recBucket:
+			rec.Buckets = append(rec.Buckets, r.val.(BucketStream))
+		case recSeal:
+			if b := r.val.(netmodel.Bucket); b > rec.MaxSeal {
+				rec.MaxSeal = b
+			}
+		case recReport:
+			rep := r.val.(Report)
+			rep.AfterBuckets = len(rec.Buckets)
+			rec.Reports = append(rec.Reports, rep)
+		case recAggBatch:
+			rec.AggEvents = append(rec.AggEvents, AggEvent{Cells: r.val.([]ingest.AggCell)})
+		case recAggFlush:
+			rec.AggEvents = append(rec.AggEvents, AggEvent{Flush: true, Through: r.val.(netmodel.Bucket)})
+		}
+	}
+	return nil
+}
+
+// maxSupersedes returns the supersede marker of the last snapshot seen.
+func maxSupersedes(rec *Recovery) (uint64, bool) {
+	return rec.supersedes, rec.hasSnapshot
+}
+
+// createSegment writes a fresh segment file: header, meta record, and any
+// extra pre-framed payloads (a compaction's snapshot + kept records). The
+// file and directory are fsynced before it is trusted.
+func (l *Log) createSegment(seq uint64, extra []byte) (*os.File, int64, error) {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	buf := make([]byte, 0, segHeader+64+len(extra))
+	buf = append(buf, segMagic...)
+	buf = append(buf, byte(segVersion), 0, 0, 0)
+	buf = appendFrame(buf, append([]byte{recMeta}, l.cfg.Meta...))
+	buf = append(buf, extra...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	syncDir(l.dir)
+	return f, int64(len(buf)), nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// append frames and writes one record under the configured fsync policy,
+// rotating the active segment first when it would overflow.
+func (l *Log) append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if int64(len(payload)) > l.cfg.MaxRecordBytes {
+		return fmt.Errorf("wal: record %d bytes exceeds limit %d", len(payload), l.cfg.MaxRecordBytes)
+	}
+	frame := appendFrame(l.buf[:0], payload)
+	l.buf = frame[:0]
+	if l.size+int64(len(frame)) > l.cfg.SegmentBytes && l.size > int64(segHeader) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.stats.AppendedRecords++
+	l.stats.AppendedBytes += int64(len(frame))
+	if l.cfg.Fsync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.stats.Syncs++
+	} else {
+		l.stats.LagRecords++
+	}
+	return nil
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Syncs++
+	l.stats.LagRecords = 0
+	l.f.Close()
+	f, size, err := l.createSegment(l.seq+1, nil)
+	if err != nil {
+		return err
+	}
+	l.seq++
+	l.f, l.size = f, size
+	l.stats.Segments++
+	return nil
+}
+
+// AppendBatch journals one accepted ingest batch in queue push order.
+func (l *Log) AppendBatch(obs []trace.Observation) error {
+	return l.append(appendObs([]byte{recBatch}, obs))
+}
+
+// AppendBucket journals the exact stream served to the pipeline for one
+// consumed bucket. Empty streams are journaled too: replay must re-seal
+// empty buckets in the same places.
+func (l *Log) AppendBucket(b netmodel.Bucket, obs []trace.Observation) error {
+	buf := appendVarintByte(recBucket, int64(b))
+	return l.append(appendObs(buf, obs))
+}
+
+// AppendSeal journals one explicit watermark advance.
+func (l *Log) AppendSeal(b netmodel.Bucket) error {
+	return l.append(appendVarintByte(recSeal, int64(b)))
+}
+
+// AppendReport journals one published report's canonical JSON.
+func (l *Log) AppendReport(rep Report) error {
+	buf := appendVarintByte(recReport, rep.Seq)
+	buf = appendVarint(buf, int64(rep.From))
+	buf = appendVarint(buf, int64(rep.To))
+	if rep.Final {
+		buf = appendVarint(buf, 1)
+	} else {
+		buf = appendVarint(buf, 0)
+	}
+	return l.append(append(buf, rep.Canonical...))
+}
+
+// AppendAggBatch journals one accepted aggregate cell batch.
+func (l *Log) AppendAggBatch(cells []ingest.AggCell) error {
+	return l.append(appendCells([]byte{recAggBatch}, cells))
+}
+
+// AppendAggFlush journals one aggregate flush trigger.
+func (l *Log) AppendAggFlush(through netmodel.Bucket) error {
+	return l.append(appendVarintByte(recAggFlush, int64(through)))
+}
+
+// Sync forces everything appended so far to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.closed || l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.stats.Syncs++
+	l.stats.LagRecords = 0
+	return nil
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close syncs and closes the active segment and stops the flusher.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.syncLocked()
+	l.closed = true
+	if l.f != nil {
+		l.f.Close()
+	}
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	return err
+}
+
+// Abandon closes the file handles without syncing — the crash-simulation
+// path for tests: whatever the OS has is whatever a kill -9 would leave.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	l.closed = true
+	if l.f != nil {
+		l.f.Close()
+	}
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+}
+
+func (l *Log) flusher() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.cfg.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.stats.LagRecords > 0 {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendVarintByte(typ byte, v int64) []byte {
+	return appendVarint([]byte{typ}, v)
+}

@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"blameit/internal/ingest"
+	"blameit/internal/netmodel"
+	"blameit/internal/trace"
+)
+
+func obsFor(b netmodel.Bucket, n int) []trace.Observation {
+	obs := make([]trace.Observation, n)
+	for i := range obs {
+		obs[i] = trace.Observation{
+			Prefix:  netmodel.PrefixID(i % 7),
+			Cloud:   netmodel.CloudID(i % 3),
+			Device:  netmodel.DeviceClass(i % 2),
+			Bucket:  b,
+			Samples: 10 + i,
+			MeanRTT: 42.5 + float64(i),
+			Clients: 3 + i,
+		}
+	}
+	return obs
+}
+
+// writeSample populates a fresh log with one of every record type and
+// returns what recovery should reconstruct.
+func writeSample(t *testing.T, dir string, cfg Config) *Recovery {
+	t.Helper()
+	l, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", rec)
+	}
+	want := &Recovery{MaxSeal: -1, AggHigh: -1}
+
+	batch0 := obsFor(0, 5)
+	// Exercise the exact-bits paths: NaN, Inf, negative counts (chaos
+	// corruption shapes that must survive the round-trip bit for bit).
+	batch0[1].MeanRTT = math.NaN()
+	batch0[2].MeanRTT = math.Inf(1)
+	batch0[3].Samples = -4
+	batch0[4].Clients = -1
+	if err := l.AppendBatch(batch0); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	want.Batches = append(want.Batches, Batch{Obs: batch0, AfterBuckets: 0})
+
+	if err := l.AppendBucket(0, batch0); err != nil {
+		t.Fatalf("AppendBucket: %v", err)
+	}
+	want.Buckets = append(want.Buckets, BucketStream{Bucket: 0, Obs: batch0})
+	if err := l.AppendBucket(1, nil); err != nil {
+		t.Fatalf("AppendBucket empty: %v", err)
+	}
+	want.Buckets = append(want.Buckets, BucketStream{Bucket: 1})
+
+	if err := l.AppendSeal(3); err != nil {
+		t.Fatalf("AppendSeal: %v", err)
+	}
+	want.MaxSeal = 3
+
+	rep := Report{Seq: 0, From: 0, To: 2, Final: true, Canonical: []byte(`{"from":0,"to":2}` + "\n")}
+	if err := l.AppendReport(rep); err != nil {
+		t.Fatalf("AppendReport: %v", err)
+	}
+	want.Reports = append(want.Reports, rep)
+
+	cells := []ingest.AggCell{{Agent: 1, Epoch: 2, Seq: 3, Bucket: 4, Prefix: 5, Cloud: 1, Device: 1, Samples: 9, MeanRTT: 55.25, Clients: 2}}
+	if err := l.AppendAggBatch(cells); err != nil {
+		t.Fatalf("AppendAggBatch: %v", err)
+	}
+	want.AggEvents = append(want.AggEvents, AggEvent{Cells: cells})
+	if err := l.AppendAggFlush(4); err != nil {
+		t.Fatalf("AppendAggFlush: %v", err)
+	}
+	want.AggEvents = append(want.AggEvents, AggEvent{Flush: true, Through: 4})
+
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return want
+}
+
+func checkRecovered(t *testing.T, got, want *Recovery) {
+	t.Helper()
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("recovered %d bucket streams, want %d", len(got.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		if got.Buckets[i].Bucket != want.Buckets[i].Bucket {
+			t.Errorf("bucket stream %d: bucket %d, want %d", i, got.Buckets[i].Bucket, want.Buckets[i].Bucket)
+		}
+		if !obsEqual(got.Buckets[i].Obs, want.Buckets[i].Obs) {
+			t.Errorf("bucket stream %d: observations differ", i)
+		}
+	}
+	if len(got.Batches) != len(want.Batches) {
+		t.Fatalf("recovered %d batches, want %d", len(got.Batches), len(want.Batches))
+	}
+	for i := range want.Batches {
+		if !obsEqual(got.Batches[i].Obs, want.Batches[i].Obs) {
+			t.Errorf("batch %d: observations differ", i)
+		}
+		if got.Batches[i].AfterBuckets != want.Batches[i].AfterBuckets {
+			t.Errorf("batch %d: AfterBuckets = %d, want %d", i, got.Batches[i].AfterBuckets, want.Batches[i].AfterBuckets)
+		}
+	}
+	if len(got.Reports) != len(want.Reports) {
+		t.Fatalf("recovered %d reports, want %d", len(got.Reports), len(want.Reports))
+	}
+	for i := range want.Reports {
+		g, w := got.Reports[i], want.Reports[i]
+		if g.Seq != w.Seq || g.From != w.From || g.To != w.To || g.Final != w.Final || !bytes.Equal(g.Canonical, w.Canonical) {
+			t.Errorf("report %d: got %+v want %+v", i, g, w)
+		}
+	}
+	if got.MaxSeal != want.MaxSeal {
+		t.Errorf("MaxSeal = %d, want %d", got.MaxSeal, want.MaxSeal)
+	}
+	if !reflect.DeepEqual(got.AggEvents, want.AggEvents) {
+		t.Errorf("AggEvents = %+v, want %+v", got.AggEvents, want.AggEvents)
+	}
+}
+
+// obsEqual compares observations with NaN-aware float equality (the codec
+// round-trips IEEE bits, so NaN must compare equal to itself here).
+func obsEqual(a, b []trace.Observation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if math.Float64bits(x.MeanRTT) != math.Float64bits(y.MeanRTT) {
+			return false
+		}
+		x.MeanRTT, y.MeanRTT = 0, 0
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(string(policy), func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Fsync: policy, Meta: "test-meta"}
+			want := writeSample(t, dir, cfg)
+			l, rec, err := Open(dir, cfg)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer l.Close()
+			checkRecovered(t, rec, want)
+			if rec.TruncatedBytes != 0 {
+				t.Errorf("TruncatedBytes = %d on a clean log", rec.TruncatedBytes)
+			}
+		})
+	}
+}
+
+func TestMetaMismatchRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, Config{Meta: "scale=small seed=1"})
+	_, _, err := Open(dir, Config{Meta: "scale=small seed=2"})
+	if err == nil {
+		t.Fatal("Open with a different meta fingerprint succeeded")
+	}
+}
+
+// TestTornTailTruncation cuts the log at every byte offset and reopens:
+// recovery must always succeed with a strict prefix of the records, count
+// the discarded bytes, and leave the file appendable.
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	want := writeSample(t, dir, cfg)
+	path := filepath.Join(dir, segName(1))
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 37
+	}
+	for cut := len(full) - 1; cut >= 0; cut -= stride {
+		dir2 := t.TempDir()
+		path2 := filepath.Join(dir2, segName(1))
+		if err := os.WriteFile(path2, full[:cut], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir2, cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		if len(rec.Buckets) > len(want.Buckets) || len(rec.Reports) > len(want.Reports) {
+			t.Fatalf("cut=%d: recovered more than was written", cut)
+		}
+		// The log must remain appendable after tail truncation.
+		if err := l.AppendSeal(9); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("cut=%d: close: %v", cut, err)
+		}
+		l2, rec2, err := Open(dir2, cfg)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if rec2.MaxSeal != 9 {
+			t.Fatalf("cut=%d: post-truncation append lost: MaxSeal=%d", cut, rec2.MaxSeal)
+		}
+		l2.Close()
+	}
+}
+
+// TestBitFlipTruncation flips each byte in turn: the scanner must never
+// panic, must recover a prefix, and must report the truncated tail.
+func TestBitFlipTruncation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	writeSample(t, dir, cfg)
+	path := filepath.Join(dir, segName(1))
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 23
+	}
+	for off := segHeader; off < len(full); off += stride {
+		mut := append([]byte(nil), full...)
+		mut[off] ^= 0x40
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, segName(1)), mut, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir2, cfg)
+		if err != nil {
+			// A flip inside the meta record legitimately fails the
+			// fingerprint check rather than truncating.
+			continue
+		}
+		if rec.TruncatedBytes == 0 && !recEqualBytes(dir2, dir) {
+			t.Fatalf("off=%d: corruption neither truncated nor preserved the log", off)
+		}
+		l.Close()
+	}
+}
+
+func recEqualBytes(dirA, dirB string) bool {
+	a, errA := os.ReadFile(filepath.Join(dirA, segName(1)))
+	b, errB := os.ReadFile(filepath.Join(dirB, segName(1)))
+	return errA == nil && errB == nil && bytes.Equal(a, b)
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Fsync: SyncOff, SegmentBytes: 256, Meta: "m"}
+	l, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []BucketStream
+	for b := netmodel.Bucket(0); b < 40; b++ {
+		obs := obsFor(b, 3)
+		if err := l.AppendBucket(b, obs); err != nil {
+			t.Fatalf("append bucket %d: %v", b, err)
+		}
+		want = append(want, BucketStream{Bucket: b, Obs: obs})
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d, want rotation past 1 segment", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(rec.Buckets) != len(want) {
+		t.Fatalf("recovered %d bucket streams across segments, want %d", len(rec.Buckets), len(want))
+	}
+	for i := range want {
+		if rec.Buckets[i].Bucket != want[i].Bucket || !obsEqual(rec.Buckets[i].Obs, want[i].Obs) {
+			t.Fatalf("bucket stream %d differs after rotation", i)
+		}
+	}
+}
+
+// TestAbandonKeepsAcknowledged simulates a kill -9: Abandon closes the fd
+// without syncing; every record appended before the crash must still be
+// recovered (the OS keeps page-cache writes from dead processes).
+func TestAbandonKeepsAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Fsync: SyncOff, Meta: "m"}
+	l, _, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := netmodel.Bucket(0); b < 10; b++ {
+		if err := l.AppendBucket(b, obsFor(b, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Abandon()
+	_, rec, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Buckets) != 10 {
+		t.Fatalf("recovered %d bucket streams after abandon, want 10", len(rec.Buckets))
+	}
+}
+
+func TestStatsAndLag(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Config{Fsync: SyncOff, Meta: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.AppendSeal(netmodel.Bucket(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.AppendedRecords != 5 || st.LagRecords != 5 {
+		t.Fatalf("Stats = %+v, want 5 appended / 5 lagging under SyncOff", st)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.LagRecords != 0 {
+		t.Fatalf("LagRecords = %d after Sync, want 0", st.LagRecords)
+	}
+}
